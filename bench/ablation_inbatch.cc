@@ -1,0 +1,67 @@
+// Ablation for the paper's Table V protocol split: MF trains with
+// sampled negatives (Algorithm 1) while the GCN backbones train with
+// in-batch negatives (Algorithm 2). In-batch negatives are drawn
+// proportionally to item popularity, which biases the sampled softmax;
+// the classic logQ correction (Bengio & Senecal, 2003 — the paper's
+// reference [12]) de-biases it. This harness runs LightGCN + SL/BSL
+// under all three settings.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "models/lightgcn.h"
+#include "train/trainer.h"
+
+namespace bb = bslrec::bench;
+using bslrec::LossKind;
+
+namespace {
+
+bslrec::TopKMetrics Run(const bslrec::Dataset& data, LossKind kind,
+                        bslrec::SamplingMode mode, double logq_tau) {
+  const bslrec::BipartiteGraph graph(data);
+  bslrec::Rng rng(23);
+  bslrec::LightGcnModel model(graph, 16, 2, rng);
+  bslrec::LossParams params;
+  params.tau = 0.9;  // GCN optimum (Corollary III.1)
+  params.tau1 = 1.0;
+  const auto loss = CreateLoss(kind, params);
+  bslrec::UniformNegativeSampler sampler(data);
+  bslrec::TrainConfig cfg = bb::DefaultTrainConfig();
+  cfg.sampling_mode = mode;
+  cfg.batch_size = 512;  // in-batch: 511 negatives per sample
+  cfg.inbatch_logq_tau = logq_tau;
+  bslrec::Trainer trainer(data, model, *loss, sampler, cfg);
+  return trainer.Train().best;
+}
+
+}  // namespace
+
+int main() {
+  bb::PrintHeader(
+      "Ablation (Table V): sampled vs in-batch vs logQ-corrected in-batch, "
+      "LightGCN");
+  std::printf("%-22s%-8s%14s%14s%18s\n", "dataset", "loss", "sampled",
+              "in-batch", "in-batch+logQ");
+  bb::PrintRule(78);
+  for (const auto& cfg : {bslrec::Yelp18Synth(), bslrec::Movielens1MSynth()}) {
+    const bslrec::Dataset data = bslrec::GenerateSynthetic(cfg).dataset;
+    for (LossKind kind : {LossKind::kSoftmax, LossKind::kBsl}) {
+      const auto sampled =
+          Run(data, kind, bslrec::SamplingMode::kSampledNegatives, 0.0);
+      const auto raw =
+          Run(data, kind, bslrec::SamplingMode::kInBatch, 0.0);
+      const auto corrected =
+          Run(data, kind, bslrec::SamplingMode::kInBatch, 0.9);
+      std::printf("%-22s%-8s%14.4f%14.4f%18.4f\n", cfg.name.c_str(),
+                  LossKindName(kind).data(), sampled.ndcg, raw.ndcg,
+                  corrected.ndcg);
+    }
+  }
+  std::printf(
+      "\nReading: uncorrected in-batch sampling collapses on the skewed, "
+      "cluster-concentrated synthetic catalogs (the popularity bias of "
+      "in-batch negatives is much stronger here than on the paper's real "
+      "data); the standard logQ correction restores in-batch training to "
+      "the sampled-negatives band (NDCG@20 within a few percent).\n");
+  return 0;
+}

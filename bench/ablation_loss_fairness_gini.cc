@@ -1,0 +1,72 @@
+// Extension of the paper's stated future work ("exploring the role of
+// different loss functions in fairness from our perspective"): one
+// fairness scoreboard across every implemented loss. For each loss we
+// report accuracy (NDCG@20), the Gini concentration of top-20 exposure
+// across the catalog (lower = recommendations spread over more items)
+// and the unpopular-half share of NDCG.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/evaluator.h"
+#include "models/mf.h"
+#include "train/trainer.h"
+
+namespace bb = bslrec::bench;
+using bslrec::LossKind;
+
+int main() {
+  bb::PrintHeader(
+      "Extension: fairness scoreboard across losses (MF, milder-skew "
+      "Yelp preset)");
+  bslrec::SyntheticConfig cfg = bslrec::Yelp18Synth();
+  cfg.zipf_alpha = 0.7;
+  cfg.popularity_gamma = 0.35;
+  const bslrec::Dataset data = bslrec::GenerateSynthetic(cfg).dataset;
+
+  const std::vector<LossKind> losses = {
+      LossKind::kMse, LossKind::kBce,     LossKind::kBpr,
+      LossKind::kCml, LossKind::kCcl,     LossKind::kSoftmax,
+      LossKind::kBsl, LossKind::kSoftmaxNoVariance,
+  };
+
+  std::printf("%-12s%12s%16s%18s\n", "loss", "NDCG@20", "exposure Gini",
+              "tail-half share");
+  bb::PrintRule(58);
+  for (LossKind l : losses) {
+    bslrec::Rng rng(41);
+    bslrec::MfModel model(data.num_users(), data.num_items(), 16, rng);
+    bslrec::LossParams params;
+    params.tau = 0.6;
+    params.tau1 = 0.66;
+    params.margin = 0.4;
+    params.negative_weight = l == LossKind::kCcl ? 2.0 : 1.0;
+    const auto loss = CreateLoss(l, params);
+    bslrec::UniformNegativeSampler sampler(data);
+    bslrec::Trainer trainer(data, model, *loss, sampler,
+                            bb::DefaultTrainConfig());
+    const auto result = trainer.Train();
+    const bslrec::Evaluator eval(data, 20);
+    const double gini =
+        bslrec::GiniCoefficient(eval.ItemExposure(model));
+    const auto groups = eval.GroupNdcg(model, 10);
+    double tail = 0.0, total = 0.0;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      total += groups[g];
+      if (g < 5) tail += groups[g];
+    }
+    std::printf("%-12s%12.4f%16.4f%18.3f\n", LossKindName(l).data(),
+                result.best.ndcg, gini, total > 0.0 ? tail / total : 0.0);
+  }
+  std::printf(
+      "\nReading: SL concentrates exposure far less than pointwise BCE, "
+      "and deleting its variance term (SL-noVar) raises the Gini — "
+      "isolating Lemma 2's penalty as the fairness driver. The metric-"
+      "learning losses (CML/CCL) buy low concentration with accuracy, "
+      "while BSL sits at the opposite end: highest accuracy and highest "
+      "concentration, the same spread-for-margin trade-off its embedding "
+      "geometry shows in Figs 10-11. Fairness and positive-noise "
+      "robustness pull the loss design in opposite directions — a "
+      "concrete datapoint for the paper's future-work question.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: is SL's fairness an artifact of popularity-aware negative
+// sampling? Prior work attributed it to the sampler; the paper's rebuttal
+// (Sections I and VI) is that *uniform* sampling preserves both fairness
+// and accuracy. This harness trains SL with a uniform and a popularity-
+// proportional sampler and prints the popularity-group NDCG for each.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/evaluator.h"
+#include "models/mf.h"
+#include "train/trainer.h"
+
+namespace bb = bslrec::bench;
+using bslrec::LossKind;
+
+int main() {
+  bb::PrintHeader(
+      "Ablation: SL fairness under uniform vs popularity sampling");
+  // Milder skew so tail groups carry test mass (see fig04).
+  bslrec::SyntheticConfig cfg = bslrec::Yelp18Synth();
+  cfg.zipf_alpha = 0.7;
+  cfg.popularity_gamma = 0.35;
+  const bslrec::Dataset data = bslrec::GenerateSynthetic(cfg).dataset;
+
+  struct Arm {
+    const char* label;
+    std::unique_ptr<bslrec::NegativeSampler> sampler;
+  };
+  std::vector<Arm> arms;
+  arms.push_back({"uniform", std::make_unique<bslrec::UniformNegativeSampler>(
+                                 data)});
+  arms.push_back(
+      {"popularity^1.0",
+       std::make_unique<bslrec::PopularityNegativeSampler>(data, 1.0)});
+
+  std::printf("%-16s", "sampler");
+  for (int g = 1; g <= 10; ++g) std::printf("  grp%02d", g);
+  std::printf("%9s\n", "NDCG@20");
+  bb::PrintRule(100);
+  for (const Arm& arm : arms) {
+    bslrec::Rng rng(17);
+    bslrec::MfModel model(data.num_users(), data.num_items(), 16, rng);
+    bslrec::SoftmaxLoss loss(0.6);
+    bslrec::Trainer trainer(data, model, loss, *arm.sampler,
+                            bb::DefaultTrainConfig());
+    const auto result = trainer.Train();
+    const bslrec::Evaluator eval(data, 20);
+    const auto groups = eval.GroupNdcg(model, 10);
+    std::printf("%-16s", arm.label);
+    for (double g : groups) std::printf("%7.4f", g);
+    std::printf("%9.4f\n", result.best.ndcg);
+  }
+  std::printf(
+      "\nReading: uniform sampling already yields the fair group profile "
+      "— fairness is a property of the loss (Lemma 2), not the sampler.\n");
+  return 0;
+}

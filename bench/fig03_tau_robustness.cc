@@ -1,0 +1,98 @@
+// Figure 3: robustness analysis of SL on Yelp2018(synth).
+//  (a) NDCG@20 across temperatures tau for several false-negative noise
+//      rates r_noise — performance is unimodal in tau and the best tau
+//      grows with the noise rate.
+//  (b) empirical robustness radius eta at the best tau per noise rate —
+//      eta rises with noise (more noise needs a larger uncertainty set).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/dro_analysis.h"
+#include "bench_util.h"
+#include "core/dro.h"
+#include "models/mf.h"
+#include "train/trainer.h"
+
+namespace bb = bslrec::bench;
+using bslrec::LossKind;
+
+int main() {
+  bb::PrintHeader("Figure 3a: NDCG@20 of SL vs temperature and noise rate");
+  bslrec::SyntheticConfig cfg = bslrec::Yelp18Synth();
+  cfg.num_users = 500;  // sweep-sized copy of the preset
+  cfg.num_items = 700;
+  const bslrec::SyntheticData synth = bslrec::GenerateSynthetic(cfg);
+  const bslrec::Dataset& data = synth.dataset;
+
+  const std::vector<double> noise_rates = {0.0, 0.5, 1.0, 2.0, 3.0};
+  const std::vector<double> taus = {0.3, 0.45, 0.6, 0.8, 1.0, 1.3};
+
+  std::printf("%-12s", "r_noise\\tau");
+  for (double tau : taus) std::printf("%9.2f", tau);
+  std::printf("%12s\n", "best tau");
+  bb::PrintRule(90);
+
+  std::vector<double> best_taus;
+  for (double rn : noise_rates) {
+    std::printf("%-12.1f", rn);
+    double best_ndcg = -1.0, best_tau = taus[0];
+    for (double tau : taus) {
+      bb::RunSpec spec;
+      spec.loss = LossKind::kSoftmax;
+      spec.loss_params.tau = tau;
+      spec.r_noise = rn;
+      spec.train = bb::DefaultTrainConfig();
+      spec.train.epochs = bb::FastMode() ? 3 : 14;
+      const double ndcg = bb::RunExperiment(data, spec).ndcg;
+      std::printf("%9.4f", ndcg);
+      if (ndcg > best_ndcg) {
+        best_ndcg = ndcg;
+        best_tau = tau;
+      }
+    }
+    std::printf("%12.2f\n", best_tau);
+    best_taus.push_back(best_tau);
+  }
+
+  bb::PrintHeader("Figure 3b: empirical eta at the best tau per noise rate");
+  // Two eta readings: at the per-noise best tau (the paper's Eq. 16
+  // protocol) and at the clean-data optimum tau held fixed — the latter
+  // isolates "more noise needs a larger robustness radius" from the
+  // simultaneous growth of the optimal temperature.
+  std::printf("%-12s%14s%14s%20s%16s\n", "r_noise", "best tau", "eta(KL)",
+              "eta @ fixed tau", "score var");
+  bb::PrintRule(80);
+  const double fixed_tau = best_taus[0];
+  for (size_t k = 0; k < noise_rates.size(); ++k) {
+    // Train at the best tau, then probe the sampled negative scores.
+    bb::RunSpec spec;
+    spec.loss = LossKind::kSoftmax;
+    spec.loss_params.tau = best_taus[k];
+    spec.r_noise = noise_rates[k];
+    spec.train = bb::DefaultTrainConfig();
+    spec.train.epochs = bb::FastMode() ? 3 : 14;
+
+    const bslrec::BipartiteGraph graph(data);
+    bslrec::Rng rng(7);
+    bslrec::MfModel model(data.num_users(), data.num_items(), spec.dim, rng);
+    const auto loss = CreateLoss(spec.loss, spec.loss_params);
+    bslrec::NoisyNegativeSampler sampler(data, noise_rates[k]);
+    bslrec::Trainer trainer(data, model, *loss, sampler, spec.train);
+    trainer.Train();
+
+    bslrec::Rng probe_rng(11);
+    const auto probe = bslrec::CollectNegativeScores(model, data, sampler,
+                                                     128, 256, probe_rng);
+    const double eta =
+        bslrec::dro::EmpiricalEta(probe.scores, best_taus[k]);
+    const double eta_fixed =
+        bslrec::dro::EmpiricalEta(probe.scores, fixed_tau);
+    std::printf("%-12.1f%14.2f%14.4f%20.4f%16.5f\n", noise_rates[k],
+                best_taus[k], eta, eta_fixed, probe.variance);
+  }
+  std::printf(
+      "\nPaper shape: NDCG unimodal in tau; the best tau, the score "
+      "variance and the fixed-tau radius eta all grow with the noise rate "
+      "(Corollary III.1 ties the three together).\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 4:
+//  (a) NDCG@20 decomposed over 10 item-popularity groups for BPR / MSE /
+//      BCE / SL — SL shifts mass toward unpopular groups (fairness).
+//  (b) DRO worst-case weight of each sampled negative vs its prediction
+//      score for tau in {0.45, 0.6, 0.8} — smaller tau gives a more
+//      "extreme" weighting of hard negatives.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/dro_analysis.h"
+#include "bench_util.h"
+#include "core/dro.h"
+#include "eval/evaluator.h"
+#include "models/mf.h"
+#include "train/trainer.h"
+
+namespace bb = bslrec::bench;
+using bslrec::LossKind;
+
+int main() {
+  // Milder popularity skew than the headline preset so the unpopular
+  // groups carry measurable test mass (full-scale Yelp behaves this way;
+  // the ~50x-scaled preset with zipf 1.0 concentrates the test set into
+  // the head decile and flattens the figure).
+  bslrec::SyntheticConfig cfg = bslrec::Yelp18Synth();
+  cfg.zipf_alpha = 0.7;
+  cfg.popularity_gamma = 0.35;
+  const bslrec::SyntheticData synth = bslrec::GenerateSynthetic(cfg);
+  const bslrec::Dataset& data = synth.dataset;
+
+  bb::PrintHeader("Figure 4a: group-wise NDCG@20 (group 10 = most popular)");
+  const std::vector<LossKind> losses = {LossKind::kBpr, LossKind::kMse,
+                                        LossKind::kBce, LossKind::kSoftmax};
+  std::printf("%-8s", "loss");
+  for (int g = 1; g <= 10; ++g) std::printf("   grp%02d", g);
+  std::printf("\n");
+  bb::PrintRule(92);
+  for (LossKind l : losses) {
+    const bslrec::BipartiteGraph graph(data);
+    bslrec::Rng rng(5);
+    bslrec::MfModel model(data.num_users(), data.num_items(), 16, rng);
+    bslrec::LossParams params;
+    params.tau = 0.6;
+    const auto loss = CreateLoss(l, params);
+    bslrec::UniformNegativeSampler sampler(data);
+    bslrec::Trainer trainer(data, model, *loss, sampler,
+                            bb::DefaultTrainConfig());
+    trainer.Train();
+    const bslrec::Evaluator eval(data, 20);
+    const auto groups = eval.GroupNdcg(model, 10);
+    std::printf("%-8s", LossKindName(l).data());
+    for (double g : groups) std::printf("%8.4f", g);
+    std::printf("\n");
+  }
+
+  bb::PrintHeader(
+      "Figure 4b: worst-case weight vs prediction score (one batch)");
+  // Train SL once, probe one batch of negatives, bin by score.
+  bslrec::Rng rng(6);
+  bslrec::MfModel model(data.num_users(), data.num_items(), 16, rng);
+  bslrec::SoftmaxLoss sl(0.6);
+  bslrec::UniformNegativeSampler sampler(data);
+  bslrec::Trainer trainer(data, model, sl, sampler, bb::DefaultTrainConfig());
+  trainer.Train();
+  bslrec::Rng probe_rng(9);
+  const auto probe =
+      bslrec::CollectNegativeScores(model, data, sampler, 64, 32, probe_rng);
+
+  const std::vector<double> taus = {0.45, 0.6, 0.8};
+  std::printf("%-14s", "score bin");
+  for (double tau : taus) std::printf("   tau=%.2f", tau);
+  std::printf("\n");
+  bb::PrintRule(50);
+  // 8 equal-width score bins over the observed range; print mean weight.
+  float lo = probe.scores[0], hi = probe.scores[0];
+  for (float s : probe.scores) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  constexpr int kBins = 8;
+  for (int b = 0; b < kBins; ++b) {
+    const double bin_lo = lo + (hi - lo) * b / kBins;
+    const double bin_hi = lo + (hi - lo) * (b + 1) / kBins;
+    std::printf("[%5.2f,%5.2f)", bin_lo, bin_hi);
+    for (double tau : taus) {
+      const auto weights = bslrec::dro::WorstCaseWeights(probe.scores, tau);
+      double acc = 0.0;
+      int count = 0;
+      for (size_t j = 0; j < probe.scores.size(); ++j) {
+        if (probe.scores[j] >= bin_lo &&
+            (probe.scores[j] < bin_hi || b == kBins - 1)) {
+          acc += weights[j];
+          ++count;
+        }
+      }
+      std::printf("%11.6f", count > 0 ? acc / count : 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape: (a) SL beats classic losses on unpopular groups; "
+      "(b) weights rise with score, steeper for smaller tau.\n");
+  return 0;
+}

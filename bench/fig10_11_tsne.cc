@@ -1,0 +1,103 @@
+// Figures 10-11: t-SNE of item embeddings trained with SL vs BSL under
+// 0/20/40% positive noise on Gowalla(synth) and Yelp2018(synth).
+// Coordinates are written to CSV (item,x,y,cluster) for plotting; the
+// printed silhouette / intra-inter metrics quantify the paper's visual
+// claim that BSL keeps clusters separated under noise.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/embedding_analysis.h"
+#include "analysis/tsne.h"
+#include "bench_util.h"
+#include "data/noise.h"
+#include "models/mf.h"
+#include "train/trainer.h"
+
+namespace bb = bslrec::bench;
+using bslrec::LossKind;
+
+namespace {
+
+// Trains MF with `loss_kind` on `data` and returns the final item table.
+bslrec::Matrix TrainItemEmbeddings(const bslrec::Dataset& data,
+                                   LossKind loss_kind, double tau1_ratio) {
+  bslrec::Rng rng(21);
+  bslrec::MfModel model(data.num_users(), data.num_items(), 16, rng);
+  bslrec::LossParams params;
+  params.tau = 0.6;
+  params.tau1 = 0.6 * tau1_ratio;
+  const auto loss = CreateLoss(loss_kind, params);
+  bslrec::UniformNegativeSampler sampler(data);
+  bslrec::Trainer trainer(data, model, *loss, sampler,
+                          bb::DefaultTrainConfig());
+  trainer.Train();
+  bslrec::Rng fwd(22);
+  model.Forward(fwd);
+  return model.FinalItemMatrix();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<bslrec::SyntheticConfig> datasets = {
+      bslrec::GowallaSynth(), bslrec::Yelp18Synth()};
+  const std::vector<double> noise_ratios = {0.0, 0.2, 0.4};
+
+  for (const auto& cfg : datasets) {
+    const bslrec::SyntheticData synth = bslrec::GenerateSynthetic(cfg);
+    bb::PrintHeader("Figures 10-11 on " + cfg.name +
+                    " (cluster separation of item embeddings)");
+    std::printf("%-8s%-8s%14s%16s%14s\n", "noise", "loss", "silhouette",
+                "intra/inter", "uniformity");
+    bb::PrintRule(62);
+    for (double ratio : noise_ratios) {
+      bslrec::Rng noise_rng(55);
+      const bslrec::Dataset data =
+          ratio > 0.0
+              ? bslrec::InjectFalsePositives(synth.dataset, ratio, noise_rng)
+              : synth.dataset;
+      for (LossKind l : {LossKind::kSoftmax, LossKind::kBsl}) {
+        const bslrec::Matrix items =
+            TrainItemEmbeddings(data, l, /*tau1_ratio=*/1.2 + ratio);
+        const double sil =
+            bslrec::SilhouetteScore(items, synth.item_cluster);
+        const double ratio_ii =
+            bslrec::IntraInterRatio(items, synth.item_cluster);
+        const double unif = bslrec::UniformityLoss(items);
+        std::printf("%-8.0f%-8s%14.4f%16.4f%14.4f\n", 100.0 * ratio,
+                    LossKindName(l).data(), sil, ratio_ii, unif);
+
+        if (!bb::FastMode()) {
+          // 2-D t-SNE coordinates for plotting.
+          bslrec::TsneConfig tsne_cfg;
+          tsne_cfg.iterations = 200;
+          const bslrec::Matrix y = bslrec::RunTsne(items, tsne_cfg);
+          const std::string path =
+              "tsne_" + std::string(LossKindName(l)) + "_" +
+              std::to_string(static_cast<int>(100 * ratio)) + "pct_" +
+              (cfg.name.substr(0, 4)) + ".csv";
+          std::ofstream out(path);
+          out << "item,x,y,cluster\n";
+          for (size_t i = 0; i < y.rows(); ++i) {
+            out << i << ',' << y.At(i, 0) << ',' << y.At(i, 1) << ','
+                << synth.item_cluster[i] << '\n';
+          }
+        }
+      }
+    }
+  }
+  std::printf(
+      "\nPaper shape: the paper's t-SNE plots show BSL retaining group "
+      "structure under noise while SL entangles. In this reproduction the "
+      "shipped per-sample BSL does NOT recover that geometry: its "
+      "positive gradient is constant per sample, so it cannot adaptively "
+      "down-weight noisy positives, and the tau1>tau2 setting trades "
+      "embedding spread (uniformity) for ranking accuracy. The adaptive "
+      "mechanism lives in the grouped Eq.(18) form — see "
+      "ablation_grouped_bsl — and EXPERIMENTS.md records this figure as "
+      "a partial reproduction. CSV t-SNE coordinates are written to the "
+      "working directory for inspection.\n");
+  return 0;
+}

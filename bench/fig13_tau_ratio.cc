@@ -1,0 +1,46 @@
+// Figure 13: sensitivity of BSL to the temperature ratio tau1/tau2 on MF
+// and LightGCN. Performance is unimodal: a moderate ratio (around 1)
+// is best; extreme ratios hurt (too small or too large a positive-side
+// robustness radius, Corollary III.1).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace bb = bslrec::bench;
+using bslrec::LossKind;
+
+int main() {
+  bb::PrintHeader("Figure 13: NDCG@20 vs tau1/tau2 ratio (BSL)");
+  const std::vector<double> ratios = {0.5, 0.8, 1.0, 1.2, 1.4, 2.0};
+  const std::vector<bb::Backbone> backbones = {bb::Backbone::kMf,
+                                               bb::Backbone::kLightGcn};
+  constexpr double kTau2 = 0.6;
+
+  for (const auto& cfg : bslrec::AllPresets()) {
+    const bslrec::Dataset data = bslrec::GenerateSynthetic(cfg).dataset;
+    std::printf("\n%s\n", cfg.name.c_str());
+    std::printf("%-10s", "model");
+    for (double r : ratios) std::printf("  r=%-6.1f", r);
+    std::printf("\n");
+    bb::PrintRule(70);
+    for (bb::Backbone backbone : backbones) {
+      std::printf("%-10s", bb::BackboneName(backbone));
+      for (double r : ratios) {
+        bb::RunSpec spec;
+        spec.backbone = backbone;
+        spec.loss = LossKind::kBsl;
+        spec.loss_params.tau = kTau2;
+        spec.loss_params.tau1 = kTau2 * r;
+        spec.train = bb::DefaultTrainConfig();
+        spec.train.epochs = bb::FastMode() ? 3 : 14;
+        std::printf("  %8.4f", bb::RunExperiment(data, spec).ndcg);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nPaper shape: unimodal in the ratio; the peak sits near ratio ~1 "
+      "on clean data and shifts right when positives are noisier.\n");
+  return 0;
+}

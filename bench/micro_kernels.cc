@@ -1,0 +1,170 @@
+// Google-benchmark microbenchmarks for the hot kernels: loss
+// forward+backward per sample, negative sampling, cosine scoring, graph
+// propagation and the evaluator. These guard the throughput the
+// experiment harnesses depend on.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/dro.h"
+#include "core/losses.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "graph/bipartite_graph.h"
+#include "math/rng.h"
+#include "math/vec.h"
+#include "models/lightgcn.h"
+#include "models/mf.h"
+#include "sampling/negative_sampler.h"
+
+namespace {
+
+using namespace bslrec;  // NOLINT: bench-local convenience
+
+std::vector<float> MakeScores(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> s(n);
+  for (auto& x : s) x = 2.0f * static_cast<float>(rng.NextDouble()) - 1.0f;
+  return s;
+}
+
+void BM_LossCompute(benchmark::State& state, LossKind kind) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  LossParams params;
+  params.tau = 0.12;
+  params.tau1 = 0.15;
+  const auto loss = CreateLoss(kind, params);
+  const auto negs = MakeScores(n, 1);
+  std::vector<float> d_neg(n);
+  float d_pos = 0.0f;
+  for (auto _ : state) {
+    const double l = loss->Compute(0.4f, negs, &d_pos, d_neg);
+    benchmark::DoNotOptimize(l);
+    benchmark::DoNotOptimize(d_neg.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void RegisterLossBenchmarks() {
+  const std::pair<const char*, LossKind> kinds[] = {
+      {"BPR", LossKind::kBpr},     {"BCE", LossKind::kBce},
+      {"MSE", LossKind::kMse},     {"SL", LossKind::kSoftmax},
+      {"BSL", LossKind::kBsl},     {"CCL", LossKind::kCcl},
+  };
+  for (const auto& [name, kind] : kinds) {
+    const std::string bench_name = std::string("BM_Loss/") + name;
+    benchmark::RegisterBenchmark(bench_name.c_str(),
+                                 [kind](benchmark::State& st) {
+                                   BM_LossCompute(st, kind);
+                                 })
+        ->Arg(32)
+        ->Arg(256);
+  }
+}
+
+void BM_UniformSampler(benchmark::State& state) {
+  SyntheticConfig cfg;
+  cfg.num_users = 300;
+  cfg.num_items = 250;
+  cfg.seed = 2;
+  const Dataset data = GenerateSynthetic(cfg).dataset;
+  UniformNegativeSampler sampler(data);
+  Rng rng(3);
+  std::vector<uint32_t> out;
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint32_t u = 0;
+  for (auto _ : state) {
+    sampler.Sample(u, n, rng, out);
+    benchmark::DoNotOptimize(out.data());
+    u = (u + 1) % data.num_users();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UniformSampler)->Arg(32)->Arg(256);
+
+void BM_NoisySampler(benchmark::State& state) {
+  SyntheticConfig cfg;
+  cfg.num_users = 300;
+  cfg.num_items = 250;
+  cfg.seed = 2;
+  const Dataset data = GenerateSynthetic(cfg).dataset;
+  NoisyNegativeSampler sampler(data, 5.0);
+  Rng rng(4);
+  std::vector<uint32_t> out;
+  uint32_t u = 0;
+  for (auto _ : state) {
+    sampler.Sample(u, 64, rng, out);
+    benchmark::DoNotOptimize(out.data());
+    u = (u + 1) % data.num_users();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NoisySampler);
+
+void BM_CosineScore(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<float> u(d), v(d);
+  for (auto& x : u) x = static_cast<float>(rng.NextGaussian());
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::Cosine(u.data(), v.data(), d));
+  }
+}
+BENCHMARK(BM_CosineScore)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GraphPropagation(benchmark::State& state) {
+  SyntheticConfig cfg;
+  cfg.num_users = 400;
+  cfg.num_items = 350;
+  cfg.seed = 6;
+  const Dataset data = GenerateSynthetic(cfg).dataset;
+  const BipartiteGraph graph(data);
+  Matrix base(graph.num_nodes(), 16), out(graph.num_nodes(), 16), scratch;
+  Rng rng(7);
+  base.InitGaussian(rng, 0.1f);
+  const int layers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LightGcnPropagate(graph.Adjacency(), base, layers, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.Adjacency().nnz() *
+                          layers);
+}
+BENCHMARK(BM_GraphPropagation)->Arg(1)->Arg(3);
+
+void BM_Evaluator(benchmark::State& state) {
+  SyntheticConfig cfg;
+  cfg.num_users = 300;
+  cfg.num_items = 250;
+  cfg.seed = 8;
+  const Dataset data = GenerateSynthetic(cfg).dataset;
+  Rng rng(9);
+  MfModel model(data.num_users(), data.num_items(), 16, rng);
+  model.Forward(rng);
+  const Evaluator eval(data, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Evaluate(model).ndcg);
+  }
+}
+BENCHMARK(BM_Evaluator);
+
+void BM_WorstCaseWeights(benchmark::State& state) {
+  const auto scores = MakeScores(static_cast<size_t>(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dro::WorstCaseWeights(scores, 0.1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WorstCaseWeights)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterLossBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Table II: overall comparison. Backbones MF / NGCF / LightGCN crossed
+// with losses BPR / BCE / MSE / SL / BSL on all four datasets, plus
+// standalone baseline rows (CML, ENMF, SimpleX-style CCL and the
+// contrastive SOTA backbones with their native BPR loss).
+// Paper claims reproduced here: SL >> classic losses on every backbone;
+// BSL >= SL everywhere; MF+SL/BSL rivals the SOTA rows.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "train/enmf.h"
+
+namespace bb = bslrec::bench;
+using bslrec::LossKind;
+
+namespace {
+
+void PrintMetrics(const char* label, const bslrec::TopKMetrics& m) {
+  std::printf("  %-18s  Recall@20 %7.4f   NDCG@20 %7.4f\n", label, m.recall,
+              m.ndcg);
+}
+
+}  // namespace
+
+int main() {
+  for (const auto& cfg : bslrec::AllPresets()) {
+    const bslrec::Dataset data = bslrec::GenerateSynthetic(cfg).dataset;
+    bb::PrintHeader("Table II on " + cfg.name);
+
+    // --- standalone baselines ---
+    {
+      bb::RunSpec spec;
+      spec.loss = LossKind::kCml;
+      spec.loss_params.margin = 0.5;
+      spec.train = bb::DefaultTrainConfig();
+      PrintMetrics("CML", bb::RunExperiment(data, spec));
+    }
+    {
+      bslrec::Rng rng(3);
+      bslrec::MfModel model(data.num_users(), data.num_items(), 16, rng);
+      bslrec::EnmfConfig ecfg;
+      ecfg.epochs = bb::FastMode() ? 4 : 25;
+      bslrec::EnmfTrainer trainer(data, model, ecfg);
+      PrintMetrics("ENMF", trainer.Train().best);
+    }
+    {
+      bb::RunSpec spec;
+      spec.loss = LossKind::kCcl;
+      spec.loss_params.margin = 0.4;
+      spec.loss_params.negative_weight = 2.0;
+      spec.train = bb::DefaultTrainConfig();
+      PrintMetrics("SimpleX (CCL)", bb::RunExperiment(data, spec));
+    }
+    for (bb::Backbone sota :
+         {bb::Backbone::kSgl, bb::Backbone::kSimGcl, bb::Backbone::kLightGcl}) {
+      bb::RunSpec spec;
+      spec.backbone = sota;
+      spec.loss = LossKind::kBpr;  // native recommendation loss
+      spec.train = bb::DefaultTrainConfig();
+      spec.train.batch_size = 512;
+      PrintMetrics(bb::BackboneName(sota), bb::RunExperiment(data, spec));
+    }
+
+    // --- backbone x loss grid ---
+    const std::vector<bb::Backbone> backbones = {
+        bb::Backbone::kMf, bb::Backbone::kNgcf, bb::Backbone::kLightGcn};
+    const std::vector<LossKind> losses = {LossKind::kBpr, LossKind::kBce,
+                                          LossKind::kMse, LossKind::kSoftmax,
+                                          LossKind::kBsl};
+    std::printf("\n  %-8s", "model");
+    for (LossKind l : losses) {
+      std::printf("        +%-12s", LossKindName(l).data());
+    }
+    std::printf("\n  %-8s", "");
+    for (size_t i = 0; i < losses.size(); ++i) {
+      std::printf("   %8s %8s ", "R@20", "N@20");
+    }
+    std::printf("\n  ");
+    bb::PrintRule(112);
+    for (bb::Backbone backbone : backbones) {
+      std::printf("  %-8s", bb::BackboneName(backbone));
+      for (LossKind l : losses) {
+        bb::RunSpec spec;
+        spec.backbone = backbone;
+        spec.loss = l;
+        spec.loss_params.tau = 0.6;
+        spec.loss_params.tau1 = 0.66;  // mild positive-side robustness
+        spec.tau_grid = bb::DefaultTauGrid();
+        spec.train = bb::DefaultTrainConfig();
+        const auto m = bb::RunExperiment(data, spec);
+        std::printf("   %8.4f %8.4f ", m.recall, m.ndcg);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nPaper shape: SL/BSL dominate BPR/BCE/MSE on every backbone; BSL "
+      ">= SL (largest gap on Gowalla, the noisiest preset); MF+SL/BSL is "
+      "competitive with the SOTA contrastive rows.\n");
+  return 0;
+}

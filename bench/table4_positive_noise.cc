@@ -1,0 +1,49 @@
+// Table IV: SL vs BSL under 10-40% injected false positives (test split
+// kept clean). BSL's improvement over SL widens as the noise grows.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/noise.h"
+
+namespace bb = bslrec::bench;
+using bslrec::LossKind;
+
+int main() {
+  bb::PrintHeader("Table IV: MF-SL vs MF-BSL under positive noise");
+  const std::vector<double> ratios = {0.1, 0.2, 0.3, 0.4};
+
+  std::printf("%-8s%-22s%12s%12s%12s%12s%12s\n", "ratio", "dataset",
+              "SL R@20", "SL N@20", "BSL R@20", "BSL N@20", "N@20 gain");
+  bb::PrintRule(90);
+  for (double ratio : ratios) {
+    for (const auto& cfg : bslrec::AllPresets()) {
+      const bslrec::Dataset clean = bslrec::GenerateSynthetic(cfg).dataset;
+      bslrec::Rng noise_rng(77);
+      const bslrec::Dataset data =
+          bslrec::InjectFalsePositives(clean, ratio, noise_rng);
+
+      bb::RunSpec sl_spec;
+      sl_spec.loss = LossKind::kSoftmax;
+      sl_spec.loss_params.tau = 0.6;
+      sl_spec.train = bb::DefaultTrainConfig();
+      const auto sl = bb::RunExperiment(data, sl_spec);
+
+      bb::RunSpec bsl_spec = sl_spec;
+      bsl_spec.loss = LossKind::kBsl;
+      // The paper raises tau1/tau2 as the positive noise grows.
+      bsl_spec.loss_params.tau1 = 0.6 * (1.2 + ratio);
+      const auto bsl = bb::RunExperiment(data, bsl_spec);
+
+      const double gain =
+          sl.ndcg > 0.0 ? 100.0 * (bsl.ndcg / sl.ndcg - 1.0) : 0.0;
+      std::printf("%-8.0f%-22s%12.4f%12.4f%12.4f%12.4f%+11.2f%%\n",
+                  100.0 * ratio, cfg.name.c_str(), sl.recall, sl.ndcg,
+                  bsl.recall, bsl.ndcg, gain);
+    }
+  }
+  std::printf(
+      "\nPaper shape: BSL >= SL at every noise level, with the relative "
+      "gain widening as the ratio grows (largest on Gowalla).\n");
+  return 0;
+}

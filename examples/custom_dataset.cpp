@@ -1,0 +1,94 @@
+// Using bslrec with your own interaction data.
+//
+// The text format is one "user_id item_id" pair per line ('#' comments
+// allowed). This example writes a tiny catalog to disk, loads it back via
+// the public loader, trains LightGCN+BSL on it, and prints
+// recommendations for one user — the full downstream-user workflow.
+#include <cstdio>
+#include <fstream>
+
+#include "core/losses.h"
+#include "data/loaders.h"
+#include "eval/evaluator.h"
+#include "graph/bipartite_graph.h"
+#include "models/lightgcn.h"
+#include "sampling/negative_sampler.h"
+#include "train/trainer.h"
+
+int main() {
+  // Normally these files come from your logs; here we synthesize a tiny
+  // "three communities" catalog so the example is self-contained.
+  const char* train_path = "example_train.txt";
+  const char* test_path = "example_test.txt";
+  {
+    std::ofstream train(train_path);
+    std::ofstream test(test_path);
+    train << "# community A: users 0-9 like items 0-7\n";
+    for (int u = 0; u < 10; ++u) {
+      for (int i = 0; i < 8; ++i) {
+        if ((u + i) % 4 == 0) {
+          test << u << ' ' << i << '\n';
+        } else {
+          train << u << ' ' << i << '\n';
+        }
+      }
+    }
+    for (int u = 10; u < 20; ++u) {
+      for (int i = 8; i < 16; ++i) {
+        if ((u + i) % 4 == 0) {
+          test << u << ' ' << i << '\n';
+        } else {
+          train << u << ' ' << i << '\n';
+        }
+      }
+    }
+    for (int u = 20; u < 30; ++u) {
+      for (int i = 16; i < 24; ++i) {
+        if ((u + i) % 4 == 0) {
+          test << u << ' ' << i << '\n';
+        } else {
+          train << u << ' ' << i << '\n';
+        }
+      }
+    }
+  }
+
+  const auto loaded = bslrec::LoadInteractions(train_path, test_path);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "failed to load interaction files\n");
+    return 1;
+  }
+  const bslrec::Dataset& data = *loaded;
+  std::printf("loaded %u users, %u items, %zu train edges\n",
+              data.num_users(), data.num_items(), data.num_train());
+
+  // LightGCN propagates over the interaction graph; BSL trains it.
+  const bslrec::BipartiteGraph graph(data);
+  bslrec::Rng rng(3);
+  bslrec::LightGcnModel model(graph, /*dim=*/16, /*num_layers=*/2, rng);
+  bslrec::BilateralSoftmaxLoss loss(0.7, 0.6);
+  bslrec::UniformNegativeSampler sampler(data);
+  bslrec::TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.batch_size = 256;
+  cfg.num_negatives = 16;
+  cfg.eval_every = 10;
+  bslrec::Trainer trainer(data, model, loss, sampler, cfg);
+  const auto result = trainer.Train();
+  std::printf("Recall@20 = %.4f  NDCG@20 = %.4f\n", result.best.recall,
+              result.best.ndcg);
+
+  // Top-2 recommendations for user 0. Its community is items 0-7, of
+  // which exactly two are held out of training — a perfect model ranks
+  // those two first (train items are masked from recommendations).
+  const bslrec::Evaluator eval(data, 2);
+  std::printf("user 0 recommendations:");
+  for (uint32_t item : eval.TopKForUser(model, 0)) {
+    std::printf(" %u", item);
+  }
+  std::printf("   (expected: the held-out community items, 0-7)\n");
+
+  std::remove(train_path);
+  std::remove(test_path);
+  return 0;
+}

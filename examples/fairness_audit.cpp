@@ -1,0 +1,84 @@
+// Popularity-fairness audit.
+//
+// Long-tail catalogs make recommenders favor popular items. This example
+// trains BPR and SL on the same data, then audits where each model's
+// NDCG comes from across ten popularity groups and probes the DRO
+// quantities of Lemma 2: SL's implicit variance penalty narrows the
+// popular/unpopular gap.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/dro_analysis.h"
+#include "core/dro.h"
+#include "core/losses.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "math/stats.h"
+#include "models/mf.h"
+#include "sampling/negative_sampler.h"
+#include "train/trainer.h"
+
+namespace {
+
+// Trains and returns the model so we can audit its embeddings.
+std::unique_ptr<bslrec::MfModel> Train(const bslrec::Dataset& data,
+                                       const bslrec::LossFunction& loss) {
+  bslrec::Rng rng(5);
+  auto model = std::make_unique<bslrec::MfModel>(data.num_users(),
+                                                 data.num_items(), 16, rng);
+  bslrec::UniformNegativeSampler sampler(data);
+  bslrec::TrainConfig cfg;
+  cfg.epochs = 20;
+  cfg.eval_every = 5;
+  bslrec::Trainer trainer(data, *model, loss, sampler, cfg);
+  trainer.Train();
+  bslrec::Rng fwd(6);
+  model->Forward(fwd);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  // Milder popularity skew than the headline preset so the tail groups
+  // carry measurable test mass (see bench/fig04_fairness_weights.cc).
+  bslrec::SyntheticConfig cfg = bslrec::Yelp18Synth();
+  cfg.zipf_alpha = 0.7;
+  cfg.popularity_gamma = 0.35;
+  const bslrec::Dataset data = bslrec::GenerateSynthetic(cfg).dataset;
+  const bslrec::Evaluator eval(data, 20);
+
+  const bslrec::BprLoss bpr;
+  const bslrec::SoftmaxLoss sl(0.6);
+  const auto bpr_model = Train(data, bpr);
+  const auto sl_model = Train(data, sl);
+
+  std::printf("group-wise NDCG@20 (group 10 = most popular items)\n");
+  std::printf("%-6s", "grp");
+  for (int g = 1; g <= 10; ++g) std::printf("%8d", g);
+  std::printf("\n");
+  const auto bpr_groups = eval.GroupNdcg(*bpr_model, 10);
+  const auto sl_groups = eval.GroupNdcg(*sl_model, 10);
+  std::printf("%-6s", "BPR");
+  for (double g : bpr_groups) std::printf("%8.4f", g);
+  std::printf("\n%-6s", "SL");
+  for (double g : sl_groups) std::printf("%8.4f", g);
+  std::printf("\n");
+
+  // Lemma-2 probe: the variance of SL's negative predictions should be
+  // smaller than BPR's — the mechanism behind the fairer split above.
+  bslrec::UniformNegativeSampler sampler(data);
+  bslrec::Rng p1(9), p2(9);
+  const auto bpr_probe =
+      bslrec::CollectNegativeScores(*bpr_model, data, sampler, 128, 64, p1);
+  const auto sl_probe =
+      bslrec::CollectNegativeScores(*sl_model, data, sampler, 128, 64, p2);
+  std::printf("\nnegative-score variance:  BPR %.5f   SL %.5f\n",
+              bpr_probe.variance, sl_probe.variance);
+  std::printf("Corollary III.1 tau* at eta=0.5: %.3f (SL probe)\n",
+              bslrec::dro::OptimalTau(sl_probe.variance, 0.5));
+  std::printf(
+      "\nExpected: SL shifts NDCG mass toward unpopular groups and shows "
+      "lower prediction variance (its implicit regularizer).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Noisy-feedback scenario (the paper's motivating use case).
+//
+// Real click logs contain false positives (clickbait, conformity) and the
+// sampled "negatives" contain false negatives (items the user would have
+// liked). This example corrupts both sides of a synthetic dataset and
+// compares BPR, SL and BSL under identical budgets — reproducing, at
+// example scale, the robustness story of Sections III-IV.
+#include <cstdio>
+
+#include "core/losses.h"
+#include "data/noise.h"
+#include "data/synthetic.h"
+#include "models/mf.h"
+#include "sampling/negative_sampler.h"
+#include "train/trainer.h"
+
+namespace {
+
+double TrainNdcg(const bslrec::Dataset& data,
+                 const bslrec::LossFunction& loss,
+                 const bslrec::NegativeSampler& sampler) {
+  bslrec::Rng rng(7);
+  bslrec::MfModel model(data.num_users(), data.num_items(), 16, rng);
+  bslrec::TrainConfig cfg;
+  cfg.epochs = 18;
+  cfg.num_negatives = 32;
+  cfg.eval_every = 6;
+  bslrec::Trainer trainer(data, model, loss, sampler, cfg);
+  return trainer.Train().best.ndcg;
+}
+
+}  // namespace
+
+int main() {
+  const bslrec::Dataset clean =
+      bslrec::GenerateSynthetic(bslrec::GowallaSynth()).dataset;
+
+  // Corrupt 30% of the training positives; keep the test split clean.
+  bslrec::Rng noise_rng(13);
+  const bslrec::Dataset noisy =
+      bslrec::InjectFalsePositives(clean, 0.30, noise_rng);
+
+  // A sampler that serves true positives as negatives 5x too often.
+  bslrec::NoisyNegativeSampler noisy_sampler(noisy, /*r_noise=*/5.0);
+  bslrec::UniformNegativeSampler clean_sampler(noisy);
+
+  const bslrec::BprLoss bpr;
+  const bslrec::SoftmaxLoss sl(0.6);
+  const bslrec::BilateralSoftmaxLoss bsl(/*tau1=*/0.9, /*tau2=*/0.6);
+
+  std::printf("30%% false positives, clean negative sampling:\n");
+  std::printf("  BPR  NDCG@20 = %.4f\n", TrainNdcg(noisy, bpr, clean_sampler));
+  std::printf("  SL   NDCG@20 = %.4f\n", TrainNdcg(noisy, sl, clean_sampler));
+  std::printf("  BSL  NDCG@20 = %.4f\n", TrainNdcg(noisy, bsl, clean_sampler));
+
+  std::printf("\n30%% false positives + 5x false-negative sampling odds:\n");
+  std::printf("  BPR  NDCG@20 = %.4f\n", TrainNdcg(noisy, bpr, noisy_sampler));
+  std::printf("  SL   NDCG@20 = %.4f\n", TrainNdcg(noisy, sl, noisy_sampler));
+  std::printf("  BSL  NDCG@20 = %.4f\n", TrainNdcg(noisy, bsl, noisy_sampler));
+
+  std::printf(
+      "\nExpected ordering: BSL >= SL > BPR — the Log-Expectation-Exp "
+      "structure absorbs noise on both sides (Lemma 1).\n");
+  return 0;
+}

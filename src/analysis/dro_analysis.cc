@@ -1,0 +1,69 @@
+#include "analysis/dro_analysis.h"
+
+#include <algorithm>
+
+#include "math/check.h"
+#include "math/stats.h"
+#include "math/vec.h"
+
+namespace bslrec {
+
+NegativeScoreProbe CollectNegativeScores(const EmbeddingModel& model,
+                                         const Dataset& data,
+                                         const NegativeSampler& sampler,
+                                         size_t num_users,
+                                         size_t negs_per_user, Rng& rng) {
+  BSLREC_CHECK(num_users > 0 && negs_per_user > 0);
+  const size_t d = model.dim();
+  NegativeScoreProbe probe;
+  probe.scores.reserve(num_users * negs_per_user);
+
+  std::vector<float> u_hat(d), j_hat(d);
+  std::vector<uint32_t> negs;
+  RunningStats stats;
+  size_t false_negatives = 0;
+  for (size_t k = 0; k < num_users; ++k) {
+    const uint32_t u = static_cast<uint32_t>(rng.NextIndex(data.num_users()));
+    if (data.TrainItems(u).empty()) continue;
+    vec::Normalize(model.UserEmb(u), u_hat.data(), d);
+    sampler.Sample(u, negs_per_user, rng, negs);
+    for (uint32_t j : negs) {
+      vec::Normalize(model.ItemEmb(j), j_hat.data(), d);
+      const float s = vec::Dot(u_hat.data(), j_hat.data(), d);
+      probe.scores.push_back(s);
+      stats.Add(s);
+      if (data.IsTrainPositive(u, j)) ++false_negatives;
+    }
+  }
+  probe.mean = stats.mean();
+  probe.variance = stats.variance();
+  probe.false_negative_rate =
+      probe.scores.empty()
+          ? 0.0
+          : static_cast<double>(false_negatives) / probe.scores.size();
+  return probe;
+}
+
+std::vector<double> MeanItemScores(const EmbeddingModel& model,
+                                   const Dataset& data, size_t num_users,
+                                   Rng& rng) {
+  const size_t d = model.dim();
+  std::vector<double> acc(data.num_items(), 0.0);
+  std::vector<float> u_hat(d), i_hat(d);
+  size_t counted = 0;
+  for (size_t k = 0; k < num_users; ++k) {
+    const uint32_t u = static_cast<uint32_t>(rng.NextIndex(data.num_users()));
+    vec::Normalize(model.UserEmb(u), u_hat.data(), d);
+    for (uint32_t i = 0; i < data.num_items(); ++i) {
+      vec::Normalize(model.ItemEmb(i), i_hat.data(), d);
+      acc[i] += vec::Dot(u_hat.data(), i_hat.data(), d);
+    }
+    ++counted;
+  }
+  if (counted > 0) {
+    for (double& x : acc) x /= static_cast<double>(counted);
+  }
+  return acc;
+}
+
+}  // namespace bslrec

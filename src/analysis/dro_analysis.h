@@ -1,0 +1,45 @@
+// DRO diagnostics on live models.
+//
+// Bridges the trained model to the core DRO quantities: samples negative
+// scores exactly the way training does (normalized cosine head + the
+// configured sampler) so that worst-case weights, empirical eta and score
+// variance (Figs 3b and 4b) are measured on the same distribution the
+// loss optimizes against.
+#ifndef BSLREC_ANALYSIS_DRO_ANALYSIS_H_
+#define BSLREC_ANALYSIS_DRO_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/model.h"
+#include "sampling/negative_sampler.h"
+
+namespace bslrec {
+
+struct NegativeScoreProbe {
+  std::vector<float> scores;  // pooled negative scores
+  double mean = 0.0;
+  double variance = 0.0;
+  double false_negative_rate = 0.0;  // fraction that are actually positives
+};
+
+// Samples `negs_per_user` negatives for `num_users` random users (with
+// test interactions) and scores them with the model's cosine head.
+// The model must have been Forward()ed.
+NegativeScoreProbe CollectNegativeScores(const EmbeddingModel& model,
+                                         const Dataset& data,
+                                         const NegativeSampler& sampler,
+                                         size_t num_users,
+                                         size_t negs_per_user, Rng& rng);
+
+// Per-item mean prediction score over a random user sample; indexable by
+// popularity group to quantify the popularity bias SL's variance penalty
+// suppresses (Lemma 2 / Fig 5 discussion).
+std::vector<double> MeanItemScores(const EmbeddingModel& model,
+                                   const Dataset& data, size_t num_users,
+                                   Rng& rng);
+
+}  // namespace bslrec
+
+#endif  // BSLREC_ANALYSIS_DRO_ANALYSIS_H_

@@ -1,0 +1,120 @@
+#include "analysis/embedding_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "math/check.h"
+#include "math/vec.h"
+
+namespace bslrec {
+
+namespace {
+
+Matrix NormalizeRows(const Matrix& points) {
+  Matrix out(points.rows(), points.cols());
+  for (size_t r = 0; r < points.rows(); ++r) {
+    vec::Normalize(points.Row(r), out.Row(r), points.cols());
+  }
+  return out;
+}
+
+}  // namespace
+
+double SilhouetteScore(const Matrix& points,
+                       const std::vector<uint32_t>& labels) {
+  const size_t n = points.rows();
+  BSLREC_CHECK(labels.size() == n && n >= 2);
+  const uint32_t num_clusters =
+      1 + *std::max_element(labels.begin(), labels.end());
+
+  std::vector<size_t> cluster_size(num_clusters, 0);
+  for (uint32_t l : labels) ++cluster_size[l];
+
+  double total = 0.0;
+  std::vector<double> mean_dist(num_clusters);
+  for (size_t i = 0; i < n; ++i) {
+    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double dist = std::sqrt(std::max(
+          0.0f, vec::SquaredDistance(points.Row(i), points.Row(j),
+                                     points.cols())));
+      mean_dist[labels[j]] += dist;
+    }
+    const uint32_t own = labels[i];
+    if (cluster_size[own] <= 1) continue;  // singleton: contributes 0
+    const double a =
+        mean_dist[own] / static_cast<double>(cluster_size[own] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (uint32_t c = 0; c < num_clusters; ++c) {
+      if (c == own || cluster_size[c] == 0) continue;
+      b = std::min(b, mean_dist[c] / static_cast<double>(cluster_size[c]));
+    }
+    if (!std::isfinite(b)) continue;  // only one non-empty cluster
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+double AlignmentLoss(const Matrix& points,
+                     const std::vector<uint32_t>& labels) {
+  BSLREC_CHECK(labels.size() == points.rows());
+  const Matrix normed = NormalizeRows(points);
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < normed.rows(); ++i) {
+    for (size_t j = i + 1; j < normed.rows(); ++j) {
+      if (labels[i] != labels[j]) continue;
+      sum += vec::SquaredDistance(normed.Row(i), normed.Row(j),
+                                  normed.cols());
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+}
+
+double UniformityLoss(const Matrix& points) {
+  const Matrix normed = NormalizeRows(points);
+  const size_t n = normed.rows();
+  BSLREC_CHECK(n >= 2);
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d2 =
+          vec::SquaredDistance(normed.Row(i), normed.Row(j), normed.cols());
+      sum += std::exp(-2.0 * d2);
+      ++pairs;
+    }
+  }
+  return std::log(sum / static_cast<double>(pairs));
+}
+
+double IntraInterRatio(const Matrix& points,
+                       const std::vector<uint32_t>& labels) {
+  BSLREC_CHECK(labels.size() == points.rows());
+  const Matrix normed = NormalizeRows(points);
+  double intra = 0.0, inter = 0.0;
+  size_t n_intra = 0, n_inter = 0;
+  for (size_t i = 0; i < normed.rows(); ++i) {
+    for (size_t j = i + 1; j < normed.rows(); ++j) {
+      const double dist = std::sqrt(std::max(
+          0.0f,
+          vec::SquaredDistance(normed.Row(i), normed.Row(j), normed.cols())));
+      if (labels[i] == labels[j]) {
+        intra += dist;
+        ++n_intra;
+      } else {
+        inter += dist;
+        ++n_inter;
+      }
+    }
+  }
+  if (n_intra == 0 || n_inter == 0 || inter <= 0.0) return 1.0;
+  return (intra / static_cast<double>(n_intra)) /
+         (inter / static_cast<double>(n_inter));
+}
+
+}  // namespace bslrec

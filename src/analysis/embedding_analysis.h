@@ -1,0 +1,45 @@
+// Quantitative embedding-geometry diagnostics.
+//
+// The paper argues qualitatively (t-SNE pictures) that BSL keeps item
+// clusters separated under positive noise. These metrics turn that into
+// numbers the benches print and the tests assert on:
+//
+//   * silhouette score over ground-truth clusters (higher = better
+//     separated),
+//   * alignment / uniformity (Wang & Isola, 2020): alignment is the mean
+//     squared distance between normalized embeddings of items in the same
+//     cluster; uniformity is log E exp(-2 ||x - y||^2) over random pairs,
+//   * intra/inter distance ratio (lower = tighter clusters).
+#ifndef BSLREC_ANALYSIS_EMBEDDING_ANALYSIS_H_
+#define BSLREC_ANALYSIS_EMBEDDING_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace bslrec {
+
+// Mean silhouette coefficient of `points` (rows) under `labels`.
+// Points in singleton clusters contribute 0. Returns a value in [-1, 1].
+double SilhouetteScore(const Matrix& points,
+                       const std::vector<uint32_t>& labels);
+
+// Wang-Isola alignment: mean || x_i - x_j ||^2 over same-label pairs of
+// L2-normalized rows. Lower is better-aligned.
+double AlignmentLoss(const Matrix& points,
+                     const std::vector<uint32_t>& labels);
+
+// Wang-Isola uniformity: log of the mean Gaussian-potential
+// exp(-t ||x - y||^2) over all distinct (normalized) pairs, t = 2.
+// More negative = more uniform.
+double UniformityLoss(const Matrix& points);
+
+// Mean intra-cluster distance divided by mean inter-cluster distance
+// (normalized rows). Lower = crisper clusters.
+double IntraInterRatio(const Matrix& points,
+                       const std::vector<uint32_t>& labels);
+
+}  // namespace bslrec
+
+#endif  // BSLREC_ANALYSIS_EMBEDDING_ANALYSIS_H_

@@ -1,0 +1,160 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "math/check.h"
+#include "math/vec.h"
+
+namespace bslrec {
+
+namespace {
+
+// Row-conditional distribution p_{j|i} with bandwidth found by binary
+// search so the row entropy matches log(perplexity).
+void ComputeRowP(const std::vector<double>& sq_dist_row, size_t i,
+                 double perplexity, std::vector<double>& p_row) {
+  const size_t n = sq_dist_row.size();
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;  // 1 / (2 sigma^2)
+  double beta_lo = 0.0;
+  double beta_hi = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < 64; ++it) {
+    double sum = 0.0;
+    double weighted = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        p_row[j] = 0.0;
+        continue;
+      }
+      const double pj = std::exp(-beta * sq_dist_row[j]);
+      p_row[j] = pj;
+      sum += pj;
+      weighted += pj * sq_dist_row[j];
+    }
+    if (sum <= 0.0) {
+      beta /= 2.0;
+      continue;
+    }
+    // Entropy H = log(sum) + beta * E[d^2].
+    const double entropy = std::log(sum) + beta * weighted / sum;
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0.0) {  // too flat -> raise beta
+      beta_lo = beta;
+      beta = std::isinf(beta_hi) ? beta * 2.0 : 0.5 * (beta + beta_hi);
+    } else {
+      beta_hi = beta;
+      beta = beta_lo > 0.0 ? 0.5 * (beta + beta_lo) : beta / 2.0;
+    }
+  }
+  double sum = 0.0;
+  for (size_t j = 0; j < n; ++j) sum += p_row[j];
+  if (sum > 0.0) {
+    for (size_t j = 0; j < n; ++j) p_row[j] /= sum;
+  }
+}
+
+}  // namespace
+
+Matrix RunTsne(const Matrix& points, const TsneConfig& config) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  BSLREC_CHECK_MSG(n >= 5, "t-SNE needs at least 5 points");
+  const double perplexity =
+      std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  // Pairwise squared distances in the input space.
+  std::vector<std::vector<double>> sq_dist(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dist = vec::SquaredDistance(points.Row(i), points.Row(j), d);
+      sq_dist[i][j] = dist;
+      sq_dist[j][i] = dist;
+    }
+  }
+
+  // Symmetrized joint P.
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  {
+    std::vector<double> row(n);
+    for (size_t i = 0; i < n; ++i) {
+      ComputeRowP(sq_dist[i], i, perplexity, row);
+      for (size_t j = 0; j < n; ++j) p[i][j] = row[j];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const double v = (p[i][j] + p[j][i]) / (2.0 * static_cast<double>(n));
+        p[i][j] = std::max(v, 1e-12);
+        p[j][i] = p[i][j];
+      }
+      p[i][i] = 0.0;
+    }
+  }
+
+  // Gradient descent on the 2-D map.
+  Rng rng(config.seed);
+  Matrix y(n, 2);
+  y.InitGaussian(rng, 1e-2f);
+  Matrix velocity(n, 2);
+  std::vector<double> q_num(n * n, 0.0);
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.initial_momentum
+                                : config.final_momentum;
+    // Student-t numerators and normalizer.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const double dx = y.At(i, 0) - y.At(j, 0);
+        const double dy = y.At(i, 1) - y.At(j, 1);
+        const double num = 1.0 / (1.0 + dx * dx + dy * dy);
+        q_num[i * n + j] = num;
+        q_num[j * n + i] = num;
+        q_sum += 2.0 * num;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    for (size_t i = 0; i < n; ++i) {
+      double gx = 0.0, gy = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double num = q_num[i * n + j];
+        const double q = std::max(num / q_sum, 1e-12);
+        const double coeff = (exaggeration * p[i][j] - q) * num;
+        gx += coeff * (y.At(i, 0) - y.At(j, 0));
+        gy += coeff * (y.At(i, 1) - y.At(j, 1));
+      }
+      gx *= 4.0;
+      gy *= 4.0;
+      velocity.At(i, 0) = static_cast<float>(
+          momentum * velocity.At(i, 0) - config.learning_rate * gx);
+      velocity.At(i, 1) = static_cast<float>(
+          momentum * velocity.At(i, 1) - config.learning_rate * gy);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      y.At(i, 0) += velocity.At(i, 0);
+      y.At(i, 1) += velocity.At(i, 1);
+    }
+    // Re-center to keep the map bounded.
+    double mx = 0.0, my = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      mx += y.At(i, 0);
+      my += y.At(i, 1);
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      y.At(i, 0) -= static_cast<float>(mx);
+      y.At(i, 1) -= static_cast<float>(my);
+    }
+  }
+  return y;
+}
+
+}  // namespace bslrec

@@ -1,0 +1,37 @@
+// Exact t-SNE (van der Maaten & Hinton, 2008) for embedding visualization.
+//
+// Figures 10-11 of the paper project item embeddings to 2-D with t-SNE to
+// show that BSL preserves cluster structure under positive noise while SL
+// degrades toward a uniform cloud. The O(n^2) exact implementation is
+// plenty for the few hundred items per synthetic catalog; output
+// coordinates are written to CSV by the bench and summarized with the
+// silhouette metric from embedding_analysis.h so the claim is testable.
+#ifndef BSLREC_ANALYSIS_TSNE_H_
+#define BSLREC_ANALYSIS_TSNE_H_
+
+#include <cstddef>
+
+#include "math/matrix.h"
+#include "math/rng.h"
+
+namespace bslrec {
+
+struct TsneConfig {
+  double perplexity = 30.0;
+  int iterations = 300;
+  double learning_rate = 200.0;
+  double early_exaggeration = 12.0;
+  int exaggeration_iters = 80;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 120;
+  uint64_t seed = 7;
+};
+
+// Embeds the rows of `points` (n x d) into 2-D. Returns an n x 2 matrix.
+// Requires n >= 5; perplexity is clamped to (n-1)/3 internally.
+Matrix RunTsne(const Matrix& points, const TsneConfig& config);
+
+}  // namespace bslrec
+
+#endif  // BSLREC_ANALYSIS_TSNE_H_

@@ -1,0 +1,102 @@
+#include "core/dro.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/check.h"
+
+namespace bslrec::dro {
+
+std::vector<double> WorstCaseWeights(std::span<const float> scores,
+                                     double tau) {
+  BSLREC_CHECK(!scores.empty() && tau > 0.0);
+  double max_s = scores[0];
+  for (float s : scores) max_s = std::max(max_s, static_cast<double>(s));
+  std::vector<double> w(scores.size());
+  double sum = 0.0;
+  for (size_t j = 0; j < scores.size(); ++j) {
+    w[j] = std::exp((scores[j] - max_s) / tau);
+    sum += w[j];
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+double EmpiricalEta(std::span<const float> scores, double tau) {
+  const std::vector<double> w = WorstCaseWeights(scores, tau);
+  const double n = static_cast<double>(scores.size());
+  // KL(P* || Uniform) = sum_j w_j log(w_j * n).
+  double kl = 0.0;
+  for (double x : w) {
+    if (x > 0.0) kl += x * std::log(x * n);
+  }
+  return std::max(0.0, kl);
+}
+
+double NegativeObjective(std::span<const float> scores, double tau) {
+  BSLREC_CHECK(!scores.empty() && tau > 0.0);
+  double max_s = scores[0];
+  for (float s : scores) max_s = std::max(max_s, static_cast<double>(s));
+  double sum = 0.0;
+  for (float s : scores) sum += std::exp((s - max_s) / tau);
+  return max_s + tau * std::log(sum / static_cast<double>(scores.size()));
+}
+
+double TiltedExpectation(std::span<const float> scores,
+                         std::span<const double> weights) {
+  BSLREC_CHECK(scores.size() == weights.size());
+  double e = 0.0;
+  for (size_t j = 0; j < scores.size(); ++j) e += weights[j] * scores[j];
+  return e;
+}
+
+double TaylorNegativeApprox(std::span<const float> scores, double tau) {
+  BSLREC_CHECK(!scores.empty() && tau > 0.0);
+  const double n = static_cast<double>(scores.size());
+  double mean = 0.0;
+  for (float s : scores) mean += s;
+  mean /= n;
+  double var = 0.0;
+  for (float s : scores) {
+    const double d = s - mean;
+    var += d * d;
+  }
+  var /= n;
+  return mean + var / (2.0 * tau);
+}
+
+double OptimalTau(double score_variance, double eta) {
+  BSLREC_CHECK(score_variance >= 0.0 && eta > 0.0);
+  return std::sqrt(score_variance / (2.0 * eta));
+}
+
+std::vector<double> SolveWorstCase(std::span<const float> scores, double eta,
+                                   double* solved_tau) {
+  BSLREC_CHECK(!scores.empty() && eta >= 0.0);
+  // KL(tilt(tau)) is continuous and monotone non-increasing in tau:
+  // tau -> infinity gives the uniform base (KL 0), tau -> 0 a point mass
+  // (max KL = log n for distinct scores). Bisect for KL(tau) == eta.
+  double lo = 1e-4, hi = 1e4;
+  if (EmpiricalEta(scores, lo) <= eta) {
+    // Even the sharpest probed tilt stays inside the ball.
+    if (solved_tau != nullptr) *solved_tau = lo;
+    return WorstCaseWeights(scores, lo);
+  }
+  if (EmpiricalEta(scores, hi) >= eta) {
+    if (solved_tau != nullptr) *solved_tau = hi;
+    return WorstCaseWeights(scores, hi);
+  }
+  for (int it = 0; it < 200; ++it) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection
+    if (EmpiricalEta(scores, mid) > eta) {
+      lo = mid;  // too sharp, raise tau
+    } else {
+      hi = mid;
+    }
+  }
+  const double tau = std::sqrt(lo * hi);
+  if (solved_tau != nullptr) *solved_tau = tau;
+  return WorstCaseWeights(scores, tau);
+}
+
+}  // namespace bslrec::dro

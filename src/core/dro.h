@@ -1,0 +1,60 @@
+// Distributionally Robust Optimization view of the softmax loss.
+//
+// The paper's theoretical contribution (Section III) is the equivalence
+//
+//   tau * log E_{j~P-}[ exp(f_j / tau) ]
+//     ==  max_{P : KL(P || P-) <= eta}  E_{j~P}[ f_j ]  -  tau * eta*   (Lemma 1)
+//
+// with the inner maximum attained by the exponentially tilted ("worst
+// case") distribution  P*(j) proportional to P-(j) * exp(f_j / tau), and
+// eta* = KL(P* || P-). This module computes every quantity in that
+// statement on an empirical sample of negative scores so the lemma, the
+// Lemma-2 variance expansion and the Corollary III.1 temperature rule can
+// be verified numerically and visualized (Figs 2, 3b, 4b).
+#ifndef BSLREC_CORE_DRO_H_
+#define BSLREC_CORE_DRO_H_
+
+#include <span>
+#include <vector>
+
+namespace bslrec::dro {
+
+// Worst-case (exponentially tilted) distribution over the sampled
+// negatives: weights[j] proportional to exp(scores[j]/tau), normalized to
+// sum 1 (uniform base distribution P- over the sample). This is the
+// P*(j) plotted against scores in Figure 4b.
+std::vector<double> WorstCaseWeights(std::span<const float> scores,
+                                     double tau);
+
+// Empirical robustness radius eta(tau) = KL(P* || Uniform) realized by the
+// tilt at temperature tau (Figure 3b reports its distribution).
+double EmpiricalEta(std::span<const float> scores, double tau);
+
+// The negative-side SL objective  tau * log mean_j exp(scores[j]/tau)
+// (log-mean form so the value is comparable across sample sizes).
+double NegativeObjective(std::span<const float> scores, double tau);
+
+// E_{j~P}[ f_j ] for an explicit distribution P over the sample.
+double TiltedExpectation(std::span<const float> scores,
+                         std::span<const double> weights);
+
+// Lemma 2 second-order approximation of NegativeObjective:
+//   mean(scores) + Var(scores) / (2 tau).
+double TaylorNegativeApprox(std::span<const float> scores, double tau);
+
+// Corollary III.1: tau* ~= sqrt( Var[f] / (2 eta) ).
+double OptimalTau(double score_variance, double eta);
+
+// Solves the primal DRO problem
+//   max_P { E_P[f] : KL(P || Uniform) <= eta }
+// by bisection on the tilt temperature (KL of the tilt is monotone
+// decreasing in tau). Returns the maximizing distribution; *solved_tau
+// (optional) receives the tau whose tilt realizes the radius. If every
+// tilt's KL stays below eta (scores nearly constant), the point-mass
+// limit is approached and the smallest probed tau is returned.
+std::vector<double> SolveWorstCase(std::span<const float> scores, double eta,
+                                   double* solved_tau = nullptr);
+
+}  // namespace bslrec::dro
+
+#endif  // BSLREC_CORE_DRO_H_

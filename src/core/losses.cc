@@ -1,0 +1,342 @@
+#include "core/losses.h"
+
+#include <cmath>
+
+#include "math/check.h"
+#include "math/stats.h"
+#include "math/vec.h"
+
+namespace bslrec {
+
+namespace {
+
+inline double Sigmoid(double x) {
+  // Branch keeps exp() argument non-positive for numerical stability.
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+// log(1 + exp(x)) without overflow.
+inline double Softplus(double x) {
+  if (x > 0.0) return x + std::log1p(std::exp(-x));
+  return std::log1p(std::exp(x));
+}
+
+// Shared kernel for the softmax family: computes
+//   log sum_j exp(neg[j] / tau)   and   softmax_j(neg / tau)
+// writing the softmax weights into `weights`.
+double ScaledLogSumExp(std::span<const float> neg_scores, double tau,
+                       std::span<float> weights) {
+  const size_t n = neg_scores.size();
+  BSLREC_CHECK(n > 0 && weights.size() == n);
+  double max_s = neg_scores[0];
+  for (float s : neg_scores) max_s = std::max(max_s, static_cast<double>(s));
+  double sum = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    const double e = std::exp((neg_scores[j] - max_s) / tau);
+    weights[j] = static_cast<float>(e);
+    sum += e;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (size_t j = 0; j < n; ++j) weights[j] *= inv;
+  return max_s / tau + std::log(sum);
+}
+
+}  // namespace
+
+double MseLoss::Compute(float pos_score, std::span<const float> neg_scores,
+                        float* d_pos, std::span<float> d_neg) const {
+  BSLREC_CHECK(d_neg.size() == neg_scores.size());
+  const double n = static_cast<double>(neg_scores.size());
+  const double pos_err = static_cast<double>(pos_score) - 1.0;
+  double loss = pos_err * pos_err;
+  *d_pos = static_cast<float>(2.0 * pos_err);
+  for (size_t j = 0; j < neg_scores.size(); ++j) {
+    const double s = neg_scores[j];
+    loss += negative_weight_ * s * s / n;
+    d_neg[j] = static_cast<float>(2.0 * negative_weight_ * s / n);
+  }
+  return loss;
+}
+
+double BceLoss::Compute(float pos_score, std::span<const float> neg_scores,
+                        float* d_pos, std::span<float> d_neg) const {
+  BSLREC_CHECK(d_neg.size() == neg_scores.size());
+  const double n = static_cast<double>(neg_scores.size());
+  // -log sigma(f+) == softplus(-f+);  d/df+ = sigma(f+) - 1.
+  double loss = Softplus(-pos_score);
+  *d_pos = static_cast<float>(Sigmoid(pos_score) - 1.0);
+  for (size_t j = 0; j < neg_scores.size(); ++j) {
+    // -log(1 - sigma(f-)) == softplus(f-);  d/df- = sigma(f-).
+    loss += negative_weight_ * Softplus(neg_scores[j]) / n;
+    d_neg[j] =
+        static_cast<float>(negative_weight_ * Sigmoid(neg_scores[j]) / n);
+  }
+  return loss;
+}
+
+double BprLoss::Compute(float pos_score, std::span<const float> neg_scores,
+                        float* d_pos, std::span<float> d_neg) const {
+  BSLREC_CHECK(d_neg.size() == neg_scores.size());
+  const double n = static_cast<double>(neg_scores.size());
+  double loss = 0.0;
+  double d_pos_acc = 0.0;
+  for (size_t j = 0; j < neg_scores.size(); ++j) {
+    const double x = static_cast<double>(pos_score) - neg_scores[j];
+    loss += Softplus(-x) / n;  // -log sigma(x)
+    const double g = (Sigmoid(x) - 1.0) / n;
+    d_pos_acc += g;
+    d_neg[j] = static_cast<float>(-g);
+  }
+  *d_pos = static_cast<float>(d_pos_acc);
+  return loss;
+}
+
+SoftmaxLoss::SoftmaxLoss(double tau) : tau_(tau) {
+  BSLREC_CHECK_MSG(tau > 0.0, "SL temperature must be positive");
+}
+
+double SoftmaxLoss::Compute(float pos_score,
+                            std::span<const float> neg_scores, float* d_pos,
+                            std::span<float> d_neg) const {
+  BSLREC_CHECK(d_neg.size() == neg_scores.size());
+  const double lse = ScaledLogSumExp(neg_scores, tau_, d_neg);
+  const double loss = -static_cast<double>(pos_score) / tau_ + lse;
+  *d_pos = static_cast<float>(-1.0 / tau_);
+  const float scale = static_cast<float>(1.0 / tau_);
+  for (size_t j = 0; j < d_neg.size(); ++j) d_neg[j] *= scale;
+  return loss;
+}
+
+FullSoftmaxLoss::FullSoftmaxLoss(double tau) : tau_(tau) {
+  BSLREC_CHECK_MSG(tau > 0.0, "SL-full temperature must be positive");
+}
+
+double FullSoftmaxLoss::Compute(float pos_score,
+                                std::span<const float> neg_scores,
+                                float* d_pos, std::span<float> d_neg) const {
+  BSLREC_CHECK(d_neg.size() == neg_scores.size());
+  // Stable softmax over {pos} ∪ negatives.
+  double max_s = pos_score;
+  for (float s : neg_scores) max_s = std::max(max_s, static_cast<double>(s));
+  const double e_pos = std::exp((pos_score - max_s) / tau_);
+  double z = e_pos;
+  for (size_t j = 0; j < neg_scores.size(); ++j) {
+    const double e = std::exp((neg_scores[j] - max_s) / tau_);
+    d_neg[j] = static_cast<float>(e);
+    z += e;
+  }
+  const double p_pos = e_pos / z;
+  *d_pos = static_cast<float>((p_pos - 1.0) / tau_);
+  const float scale = static_cast<float>(1.0 / (z * tau_));
+  for (size_t j = 0; j < d_neg.size(); ++j) d_neg[j] *= scale;
+  return -std::log(std::max(p_pos, 1e-300));
+}
+
+BilateralSoftmaxLoss::BilateralSoftmaxLoss(double tau1, double tau2)
+    : tau1_(tau1), tau2_(tau2) {
+  BSLREC_CHECK_MSG(tau1 > 0.0 && tau2 > 0.0,
+                   "BSL temperatures must be positive");
+}
+
+double BilateralSoftmaxLoss::Compute(float pos_score,
+                                     std::span<const float> neg_scores,
+                                     float* d_pos,
+                                     std::span<float> d_neg) const {
+  BSLREC_CHECK(d_neg.size() == neg_scores.size());
+  const double ratio = tau1_ / tau2_;
+  const double lse = ScaledLogSumExp(neg_scores, tau2_, d_neg);
+  const double loss = -static_cast<double>(pos_score) / tau1_ + ratio * lse;
+  *d_pos = static_cast<float>(-1.0 / tau1_);
+  const float scale = static_cast<float>(ratio / tau2_);
+  for (size_t j = 0; j < d_neg.size(); ++j) d_neg[j] *= scale;
+  return loss;
+}
+
+GroupedBslLoss::GroupedBslLoss(double tau1, double tau2)
+    : tau1_(tau1), tau2_(tau2) {
+  BSLREC_CHECK(tau1 > 0.0 && tau2 > 0.0);
+}
+
+double GroupedBslLoss::Compute(std::span<const float> pos_scores,
+                               std::span<const float> neg_scores,
+                               std::span<float> d_pos,
+                               std::span<float> d_neg) const {
+  BSLREC_CHECK(d_pos.size() == pos_scores.size());
+  BSLREC_CHECK(d_neg.size() == neg_scores.size());
+  BSLREC_CHECK(!pos_scores.empty() && !neg_scores.empty());
+  // Positive part: -tau1 * log mean_i exp(f+_i / tau1).
+  const double pos_lse = ScaledLogSumExp(pos_scores, tau1_, d_pos);
+  const double pos_part =
+      -tau1_ * (pos_lse - std::log(static_cast<double>(pos_scores.size())));
+  // d/df+_k = -softmax_k(f+/tau1)  (the log-mean offset has zero gradient).
+  for (size_t k = 0; k < d_pos.size(); ++k) d_pos[k] = -d_pos[k];
+  // Negative part: tau2 * log mean_j exp(f-_j / tau2).
+  const double neg_lse = ScaledLogSumExp(neg_scores, tau2_, d_neg);
+  const double neg_part =
+      tau2_ * (neg_lse - std::log(static_cast<double>(neg_scores.size())));
+  return pos_part + neg_part;
+}
+
+double CmlLoss::Compute(float pos_score, std::span<const float> neg_scores,
+                        float* d_pos, std::span<float> d_neg) const {
+  BSLREC_CHECK(d_neg.size() == neg_scores.size());
+  const double n = static_cast<double>(neg_scores.size());
+  double loss = 0.0;
+  double d_pos_acc = 0.0;
+  for (size_t j = 0; j < neg_scores.size(); ++j) {
+    const double h =
+        margin_ - 2.0 * static_cast<double>(pos_score) + 2.0 * neg_scores[j];
+    if (h > 0.0) {
+      loss += h / n;
+      d_pos_acc += -2.0 / n;
+      d_neg[j] = static_cast<float>(2.0 / n);
+    } else {
+      d_neg[j] = 0.0f;
+    }
+  }
+  *d_pos = static_cast<float>(d_pos_acc);
+  return loss;
+}
+
+double CclLoss::Compute(float pos_score, std::span<const float> neg_scores,
+                        float* d_pos, std::span<float> d_neg) const {
+  BSLREC_CHECK(d_neg.size() == neg_scores.size());
+  const double n = static_cast<double>(neg_scores.size());
+  double loss = 1.0 - static_cast<double>(pos_score);
+  *d_pos = -1.0f;
+  for (size_t j = 0; j < neg_scores.size(); ++j) {
+    const double h = static_cast<double>(neg_scores[j]) - margin_;
+    if (h > 0.0) {
+      loss += negative_weight_ * h / n;
+      d_neg[j] = static_cast<float>(negative_weight_ / n);
+    } else {
+      d_neg[j] = 0.0f;
+    }
+  }
+  return loss;
+}
+
+SoftmaxNoVarianceLoss::SoftmaxNoVarianceLoss(double tau) : tau_(tau) {
+  BSLREC_CHECK(tau > 0.0);
+}
+
+double SoftmaxNoVarianceLoss::Compute(float pos_score,
+                                      std::span<const float> neg_scores,
+                                      float* d_pos,
+                                      std::span<float> d_neg) const {
+  BSLREC_CHECK(d_neg.size() == neg_scores.size());
+  const double n = static_cast<double>(neg_scores.size());
+  double mean_neg = 0.0;
+  for (float s : neg_scores) mean_neg += s;
+  mean_neg /= n;
+  *d_pos = static_cast<float>(-1.0 / tau_);
+  const float g = static_cast<float>(1.0 / (n * tau_));
+  for (size_t j = 0; j < d_neg.size(); ++j) d_neg[j] = g;
+  return (-static_cast<double>(pos_score) + mean_neg) / tau_;
+}
+
+VarianceAugmentedMeanLoss::VarianceAugmentedMeanLoss(double tau) : tau_(tau) {
+  BSLREC_CHECK(tau > 0.0);
+}
+
+double VarianceAugmentedMeanLoss::Compute(float pos_score,
+                                          std::span<const float> neg_scores,
+                                          float* d_pos,
+                                          std::span<float> d_neg) const {
+  BSLREC_CHECK(d_neg.size() == neg_scores.size());
+  const double n = static_cast<double>(neg_scores.size());
+  double mean_neg = 0.0;
+  for (float s : neg_scores) mean_neg += s;
+  mean_neg /= n;
+  double var = 0.0;
+  for (float s : neg_scores) {
+    const double d = s - mean_neg;
+    var += d * d;
+  }
+  var /= n;
+  const double loss =
+      (-static_cast<double>(pos_score) + mean_neg + var / (2.0 * tau_)) / tau_;
+  *d_pos = static_cast<float>(-1.0 / tau_);
+  for (size_t j = 0; j < d_neg.size(); ++j) {
+    // d/df_j of mean: 1/n; of var: 2 (f_j - mean)/n.
+    const double g =
+        (1.0 / n + (neg_scores[j] - mean_neg) / (n * tau_)) / tau_;
+    d_neg[j] = static_cast<float>(g);
+  }
+  return loss;
+}
+
+std::unique_ptr<LossFunction> CreateLoss(LossKind kind,
+                                         const LossParams& params) {
+  switch (kind) {
+    case LossKind::kMse:
+      return std::make_unique<MseLoss>(params.negative_weight);
+    case LossKind::kBce:
+      return std::make_unique<BceLoss>(params.negative_weight);
+    case LossKind::kBpr:
+      return std::make_unique<BprLoss>();
+    case LossKind::kSoftmax:
+      return std::make_unique<SoftmaxLoss>(params.tau);
+    case LossKind::kFullSoftmax:
+      return std::make_unique<FullSoftmaxLoss>(params.tau);
+    case LossKind::kBsl:
+      return std::make_unique<BilateralSoftmaxLoss>(params.tau1, params.tau);
+    case LossKind::kCml:
+      return std::make_unique<CmlLoss>(params.margin);
+    case LossKind::kCcl:
+      return std::make_unique<CclLoss>(params.margin,
+                                       params.negative_weight);
+    case LossKind::kSoftmaxNoVariance:
+      return std::make_unique<SoftmaxNoVarianceLoss>(params.tau);
+    case LossKind::kVarianceAugmentedMean:
+      return std::make_unique<VarianceAugmentedMeanLoss>(params.tau);
+  }
+  BSLREC_CHECK_MSG(false, "unknown LossKind");
+  return nullptr;
+}
+
+std::string_view LossKindName(LossKind kind) {
+  switch (kind) {
+    case LossKind::kMse:
+      return "MSE";
+    case LossKind::kBce:
+      return "BCE";
+    case LossKind::kBpr:
+      return "BPR";
+    case LossKind::kSoftmax:
+      return "SL";
+    case LossKind::kFullSoftmax:
+      return "SL-full";
+    case LossKind::kBsl:
+      return "BSL";
+    case LossKind::kCml:
+      return "CML";
+    case LossKind::kCcl:
+      return "CCL";
+    case LossKind::kSoftmaxNoVariance:
+      return "SL-noVar";
+    case LossKind::kVarianceAugmentedMean:
+      return "SL-meanVar";
+  }
+  return "?";
+}
+
+std::optional<LossKind> ParseLossKind(std::string_view name) {
+  if (name == "MSE") return LossKind::kMse;
+  if (name == "BCE") return LossKind::kBce;
+  if (name == "BPR") return LossKind::kBpr;
+  if (name == "SL") return LossKind::kSoftmax;
+  if (name == "SL-full") return LossKind::kFullSoftmax;
+  if (name == "BSL") return LossKind::kBsl;
+  if (name == "CML") return LossKind::kCml;
+  if (name == "CCL") return LossKind::kCcl;
+  if (name == "SL-noVar") return LossKind::kSoftmaxNoVariance;
+  if (name == "SL-meanVar") return LossKind::kVarianceAugmentedMean;
+  return std::nullopt;
+}
+
+}  // namespace bslrec

@@ -1,0 +1,253 @@
+// Loss functions for collaborative filtering with implicit feedback.
+//
+// This module is the paper's subject matter. Every loss maps per-sample
+// model scores to a scalar loss plus analytic gradients with respect to
+// those scores; the trainer chains them through the cosine-similarity
+// scoring head into the embeddings. Scores are cosine similarities in
+// [-1, 1] (paper Appendix, Table V).
+//
+// A sample is one (user, positive item, N- sampled negative items) tuple,
+// matching the paper's "Negative Sampling" training mode (Algorithm 1).
+//
+// Implemented losses, with the paper's taxonomy (Section II-A):
+//   Pointwise : MseLoss, BceLoss                         (Eq. 1-2)
+//   Pairwise  : BprLoss                                  (Eq. 3)
+//   Softmax   : SoftmaxLoss (SL)                         (Eq. 4-5)
+//   Bilateral : BilateralSoftmaxLoss (BSL)               (Eq. 18, Alg. 1-2)
+//   Baselines : CmlLoss (hinge metric), CclLoss (SimpleX cosine contrastive)
+//   Ablations : SoftmaxNoVarianceLoss  ("w/o variance", Fig. 5)
+//               VarianceAugmentedMeanLoss (explicit Lemma-2 second-order
+//               surrogate; verifies the DRO variance story numerically)
+//
+// BSL per-sample form follows the paper's pseudocode exactly:
+//     L = -f+/tau1 + (tau1/tau2) * log sum_j exp(f-_j / tau2)
+// and reduces to SL when tau1 == tau2. The literal Eq. (18) grouped form
+// (Log-Expectation-Exp over several positives of one user) is exposed as
+// GroupedBslLoss for analysis and property tests.
+#ifndef BSLREC_CORE_LOSSES_H_
+#define BSLREC_CORE_LOSSES_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bslrec {
+
+// Interface: per-sample loss over (one positive score, N- negative scores).
+class LossFunction {
+ public:
+  virtual ~LossFunction() = default;
+
+  // Human-readable loss name, e.g. "SL" or "BSL".
+  virtual std::string_view name() const = 0;
+
+  // Computes the per-sample loss. Writes dL/df+ into *d_pos and dL/df-_j
+  // into d_neg[j] (d_neg.size() must equal neg_scores.size(); it is
+  // overwritten). Returns the loss value.
+  virtual double Compute(float pos_score, std::span<const float> neg_scores,
+                         float* d_pos, std::span<float> d_neg) const = 0;
+};
+
+// Pointwise MSE (Eq. 2): (f+ - 1)^2 + c * mean_j (f-_j)^2.
+class MseLoss : public LossFunction {
+ public:
+  explicit MseLoss(double negative_weight = 1.0)
+      : negative_weight_(negative_weight) {}
+  std::string_view name() const override { return "MSE"; }
+  double Compute(float pos_score, std::span<const float> neg_scores,
+                 float* d_pos, std::span<float> d_neg) const override;
+
+ private:
+  double negative_weight_;  // the paper's c balancing coefficient
+};
+
+// Pointwise binary cross-entropy (Eq. 2):
+//   -log sigma(f+) - c * mean_j log(1 - sigma(f-_j)).
+class BceLoss : public LossFunction {
+ public:
+  explicit BceLoss(double negative_weight = 1.0)
+      : negative_weight_(negative_weight) {}
+  std::string_view name() const override { return "BCE"; }
+  double Compute(float pos_score, std::span<const float> neg_scores,
+                 float* d_pos, std::span<float> d_neg) const override;
+
+ private:
+  double negative_weight_;
+};
+
+// Pairwise BPR (Eq. 3): mean_j -log sigma(f+ - f-_j).
+class BprLoss : public LossFunction {
+ public:
+  std::string_view name() const override { return "BPR"; }
+  double Compute(float pos_score, std::span<const float> neg_scores,
+                 float* d_pos, std::span<float> d_neg) const override;
+};
+
+// Softmax loss / sampled softmax (Eq. 4 with the positive term dropped
+// from the denominator, as the paper does):
+//   L = -f+/tau + log sum_j exp(f-_j / tau).
+class SoftmaxLoss : public LossFunction {
+ public:
+  explicit SoftmaxLoss(double tau);
+  std::string_view name() const override { return "SL"; }
+  double Compute(float pos_score, std::span<const float> neg_scores,
+                 float* d_pos, std::span<float> d_neg) const override;
+
+  double tau() const { return tau_; }
+
+ private:
+  double tau_;
+};
+
+// Footnote-1 variant: the positive term kept inside the denominator,
+//   L = -log( exp(f+/tau) / (exp(f+/tau) + sum_j exp(f-_j/tau)) ).
+// The paper drops it (following Decoupled Contrastive Learning) because
+// it contributes negligibly for large N- and removing it slightly boosts
+// embedding uniformity; this class exists so that choice is testable
+// (ablation_decoupled_softmax bench).
+class FullSoftmaxLoss : public LossFunction {
+ public:
+  explicit FullSoftmaxLoss(double tau);
+  std::string_view name() const override { return "SL-full"; }
+  double Compute(float pos_score, std::span<const float> neg_scores,
+                 float* d_pos, std::span<float> d_neg) const override;
+
+  double tau() const { return tau_; }
+
+ private:
+  double tau_;
+};
+
+// Bilateral Softmax Loss (the paper's contribution; Algorithms 1-2):
+//   L = -f+/tau1 + (tau1/tau2) * log sum_j exp(f-_j / tau2).
+// tau1 == tau2 recovers SoftmaxLoss exactly.
+class BilateralSoftmaxLoss : public LossFunction {
+ public:
+  BilateralSoftmaxLoss(double tau1, double tau2);
+  std::string_view name() const override { return "BSL"; }
+  double Compute(float pos_score, std::span<const float> neg_scores,
+                 float* d_pos, std::span<float> d_neg) const override;
+
+  double tau1() const { return tau1_; }
+  double tau2() const { return tau2_; }
+
+ private:
+  double tau1_;
+  double tau2_;
+};
+
+// Literal Eq. (18): both sides carry the Log-Expectation-Exp structure
+// over a *group* of positives and negatives of the same user:
+//   L = -tau1 * log mean_i exp(f+_i/tau1) + tau2 * log mean_j exp(f-_j/tau2)
+// The positive-side softmax down-weights low-scoring (likely noisy)
+// positives — the bilateral robustness mechanism in its purest form.
+class GroupedBslLoss {
+ public:
+  GroupedBslLoss(double tau1, double tau2);
+
+  // d_pos / d_neg must match the score span sizes; both are overwritten.
+  double Compute(std::span<const float> pos_scores,
+                 std::span<const float> neg_scores, std::span<float> d_pos,
+                 std::span<float> d_neg) const;
+
+  double tau1() const { return tau1_; }
+  double tau2() const { return tau2_; }
+
+ private:
+  double tau1_;
+  double tau2_;
+};
+
+// Collaborative Metric Learning (Hsieh et al., WWW'17) hinge loss, written
+// on cosine scores via d^2 = 2 - 2f for unit embeddings:
+//   L = mean_j max(0, margin - 2 f+ + 2 f-_j).
+class CmlLoss : public LossFunction {
+ public:
+  explicit CmlLoss(double margin = 0.5) : margin_(margin) {}
+  std::string_view name() const override { return "CML"; }
+  double Compute(float pos_score, std::span<const float> neg_scores,
+                 float* d_pos, std::span<float> d_neg) const override;
+
+ private:
+  double margin_;
+};
+
+// Cosine Contrastive Loss (SimpleX, CIKM'21):
+//   L = (1 - f+) + (w / N-) * sum_j max(0, f-_j - margin).
+class CclLoss : public LossFunction {
+ public:
+  CclLoss(double margin, double negative_weight)
+      : margin_(margin), negative_weight_(negative_weight) {}
+  std::string_view name() const override { return "CCL"; }
+  double Compute(float pos_score, std::span<const float> neg_scores,
+                 float* d_pos, std::span<float> d_neg) const override;
+
+ private:
+  double margin_;
+  double negative_weight_;
+};
+
+// Ablation for Fig. 5: SL with the (implicit) variance penalty removed.
+// By Lemma 2,  tau * log E exp(f/tau) ~= E[f] + V[f]/(2 tau); dropping the
+// variance term leaves the mean-field loss
+//   L = ( -f+ + mean_j f-_j ) / tau.
+class SoftmaxNoVarianceLoss : public LossFunction {
+ public:
+  explicit SoftmaxNoVarianceLoss(double tau);
+  std::string_view name() const override { return "SL-noVar"; }
+  double Compute(float pos_score, std::span<const float> neg_scores,
+                 float* d_pos, std::span<float> d_neg) const override;
+
+ private:
+  double tau_;
+};
+
+// Lemma-2 second-order surrogate with the variance term kept explicitly:
+//   L = ( -f+ + mean_j f-_j + Var_j[f-]/(2 tau) ) / tau.
+// Matches SoftmaxLoss up to O(1/tau^2) — verified by property tests.
+class VarianceAugmentedMeanLoss : public LossFunction {
+ public:
+  explicit VarianceAugmentedMeanLoss(double tau);
+  std::string_view name() const override { return "SL-meanVar"; }
+  double Compute(float pos_score, std::span<const float> neg_scores,
+                 float* d_pos, std::span<float> d_neg) const override;
+
+ private:
+  double tau_;
+};
+
+// Loss registry for experiment drivers.
+enum class LossKind {
+  kMse,
+  kBce,
+  kBpr,
+  kSoftmax,
+  kFullSoftmax,
+  kBsl,
+  kCml,
+  kCcl,
+  kSoftmaxNoVariance,
+  kVarianceAugmentedMean,
+};
+
+struct LossParams {
+  double tau = 0.10;              // SL temperature / BSL tau2
+  double tau1 = 0.10;             // BSL positive temperature
+  double negative_weight = 1.0;   // pointwise c / CCL w
+  double margin = 0.5;            // CML / CCL margin
+};
+
+// Instantiates a loss by kind. Never returns null.
+std::unique_ptr<LossFunction> CreateLoss(LossKind kind,
+                                         const LossParams& params);
+
+// Name <-> kind helpers for harness command lines and table headers.
+std::string_view LossKindName(LossKind kind);
+std::optional<LossKind> ParseLossKind(std::string_view name);
+
+}  // namespace bslrec
+
+#endif  // BSLREC_CORE_LOSSES_H_

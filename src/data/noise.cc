@@ -1,0 +1,96 @@
+#include "data/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "math/check.h"
+
+namespace bslrec {
+
+Dataset InjectFalsePositives(const Dataset& data, double ratio, Rng& rng) {
+  BSLREC_CHECK(ratio >= 0.0);
+  std::vector<Edge> train = data.train_edges();
+  std::vector<Edge> test = data.test_edges();
+
+  for (uint32_t u = 0; u < data.num_users(); ++u) {
+    const auto pos = data.TrainItems(u);
+    const auto test_pos = data.TestItems(u);
+    const uint32_t want =
+        static_cast<uint32_t>(std::lround(ratio * pos.size()));
+    if (want == 0) continue;
+
+    // Candidate pool: all items the user never interacted with.
+    std::vector<bool> taken(data.num_items(), false);
+    for (uint32_t i : pos) taken[i] = true;
+    for (uint32_t i : test_pos) taken[i] = true;
+    std::vector<uint32_t> pool;
+    pool.reserve(data.num_items());
+    for (uint32_t i = 0; i < data.num_items(); ++i) {
+      if (!taken[i]) pool.push_back(i);
+    }
+    const uint32_t n_add =
+        std::min<uint32_t>(want, static_cast<uint32_t>(pool.size()));
+    if (n_add == 0) continue;
+    std::vector<uint32_t> picks = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(pool.size()), n_add);
+    for (uint32_t p : picks) train.push_back(Edge{u, pool[p]});
+  }
+  return Dataset(data.num_users(), data.num_items(), std::move(train),
+                 std::move(test));
+}
+
+Dataset DropTrainPositives(const Dataset& data, double ratio, Rng& rng) {
+  BSLREC_CHECK(ratio >= 0.0 && ratio <= 1.0);
+  std::vector<Edge> train;
+  std::vector<Edge> test = data.test_edges();
+  for (uint32_t u = 0; u < data.num_users(); ++u) {
+    const auto pos = data.TrainItems(u);
+    uint32_t drop = static_cast<uint32_t>(std::lround(ratio * pos.size()));
+    // Keep at least one train positive so the user stays connected.
+    drop = std::min<uint32_t>(drop, pos.empty()
+                                        ? 0
+                                        : static_cast<uint32_t>(pos.size()) - 1);
+    std::vector<bool> dropped(pos.size(), false);
+    if (drop > 0) {
+      for (uint32_t p : rng.SampleWithoutReplacement(
+               static_cast<uint32_t>(pos.size()), drop)) {
+        dropped[p] = true;
+      }
+    }
+    for (size_t k = 0; k < pos.size(); ++k) {
+      if (!dropped[k]) train.push_back(Edge{u, pos[k]});
+    }
+  }
+  return Dataset(data.num_users(), data.num_items(), std::move(train),
+                 std::move(test));
+}
+
+Dataset ResplitLeaveOneOut(const Dataset& data, Rng& rng) {
+  std::vector<Edge> train, test;
+  for (uint32_t u = 0; u < data.num_users(); ++u) {
+    std::vector<uint32_t> items;
+    const auto tr = data.TrainItems(u);
+    const auto te = data.TestItems(u);
+    items.insert(items.end(), tr.begin(), tr.end());
+    items.insert(items.end(), te.begin(), te.end());
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    if (items.size() < 2) {
+      for (uint32_t i : items) train.push_back(Edge{u, i});
+      continue;
+    }
+    const size_t held_out = rng.NextIndex(items.size());
+    for (size_t k = 0; k < items.size(); ++k) {
+      if (k == held_out) {
+        test.push_back(Edge{u, items[k]});
+      } else {
+        train.push_back(Edge{u, items[k]});
+      }
+    }
+  }
+  return Dataset(data.num_users(), data.num_items(), std::move(train),
+                 std::move(test));
+}
+
+}  // namespace bslrec

@@ -1,0 +1,43 @@
+// Controlled noise injection for robustness experiments.
+//
+// Two kinds of corruption appear in the paper's evaluation:
+//
+//  * False positives (Section V-D, Table IV, Figs 6/10/11): a proportion
+//    of random non-interacted items is added to each user's *training*
+//    positives while the test set stays clean. `InjectFalsePositives`
+//    implements exactly that.
+//  * False negatives (Sections III-B, V-C, Figs 3/8): handled at sampling
+//    time by `NoisyNegativeSampler` (see sampling/negative_sampler.h),
+//    which draws true positives as "negatives" with a configurable odds
+//    ratio r_noise.
+#ifndef BSLREC_DATA_NOISE_H_
+#define BSLREC_DATA_NOISE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "math/rng.h"
+
+namespace bslrec {
+
+// Returns a copy of `data` whose train set additionally contains
+// round(ratio * |S+_u|) random items per user u that the user did NOT
+// interact with (neither train nor test). The test set is unchanged.
+// `ratio` in [0, 1+); 0 returns an identical dataset.
+Dataset InjectFalsePositives(const Dataset& data, double ratio, Rng& rng);
+
+// Returns a copy of `data` where round(ratio * |S+_u|) random train
+// positives per user are *removed* (exposure-dropout; used by failure-
+// injection tests to study sparsity robustness).
+Dataset DropTrainPositives(const Dataset& data, double ratio, Rng& rng);
+
+// Re-splits the union of `data`'s train and test interactions with the
+// leave-one-out protocol (He et al., NCF): exactly one random
+// interaction per user is held out for testing; users with fewer than
+// two interactions keep everything in train. The alternative evaluation
+// protocol common in the pointwise-loss literature.
+Dataset ResplitLeaveOneOut(const Dataset& data, Rng& rng);
+
+}  // namespace bslrec
+
+#endif  // BSLREC_DATA_NOISE_H_

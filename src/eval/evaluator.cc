@@ -1,0 +1,134 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "math/check.h"
+#include "math/vec.h"
+
+namespace bslrec {
+
+Evaluator::Evaluator(const Dataset& data, uint32_t k) : data_(data), k_(k) {
+  BSLREC_CHECK(k > 0);
+}
+
+Matrix Evaluator::NormalizeItems(const EmbeddingModel& model) const {
+  const size_t d = model.dim();
+  Matrix normed(data_.num_items(), d);
+  for (uint32_t i = 0; i < data_.num_items(); ++i) {
+    vec::Normalize(model.ItemEmb(i), normed.Row(i), d);
+  }
+  return normed;
+}
+
+void Evaluator::ScoreUser(const EmbeddingModel& model,
+                          const Matrix& item_normed, uint32_t user,
+                          std::vector<float>& scores) const {
+  const size_t d = model.dim();
+  std::vector<float> u_normed(d);
+  vec::Normalize(model.UserEmb(user), u_normed.data(), d);
+  scores.resize(data_.num_items());
+  for (uint32_t i = 0; i < data_.num_items(); ++i) {
+    scores[i] = vec::Dot(u_normed.data(), item_normed.Row(i), d);
+  }
+}
+
+std::vector<uint32_t> Evaluator::RankTopK(const std::vector<float>& scores,
+                                          uint32_t user, uint32_t k) const {
+  // Candidates exclude the user's train positives entirely: a
+  // recommendation list must never contain already-consumed items.
+  const auto train_items = data_.TrainItems(user);
+  std::vector<uint32_t> order;
+  order.reserve(scores.size());
+  size_t next_train = 0;
+  for (uint32_t i = 0; i < scores.size(); ++i) {
+    if (next_train < train_items.size() && train_items[next_train] == i) {
+      ++next_train;
+      continue;
+    }
+    order.push_back(i);
+  }
+  const uint32_t kk =
+      std::min<uint32_t>(k, static_cast<uint32_t>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + kk, order.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;  // deterministic tie-break
+                    });
+  order.resize(kk);
+  return order;
+}
+
+TopKMetrics Evaluator::Evaluate(const EmbeddingModel& model) const {
+  return EvaluateAtK(model, k_);
+}
+
+TopKMetrics Evaluator::EvaluateAtK(const EmbeddingModel& model,
+                                   uint32_t k) const {
+  const Matrix item_normed = NormalizeItems(model);
+  TopKMetrics agg;
+  std::vector<float> scores;
+  for (uint32_t u = 0; u < data_.num_users(); ++u) {
+    const auto test_items = data_.TestItems(u);
+    if (test_items.empty()) continue;
+    ScoreUser(model, item_normed, u, scores);
+    const std::vector<uint32_t> ranking = RankTopK(scores, u, k);
+    agg.recall += RecallAtK(ranking, test_items);
+    agg.ndcg += NdcgAtK(ranking, test_items, k);
+    agg.precision += PrecisionAtK(ranking, test_items, k);
+    agg.hit_rate += HitAtK(ranking, test_items);
+    ++agg.num_users;
+  }
+  if (agg.num_users > 0) {
+    const double n = static_cast<double>(agg.num_users);
+    agg.recall /= n;
+    agg.ndcg /= n;
+    agg.precision /= n;
+    agg.hit_rate /= n;
+  }
+  return agg;
+}
+
+std::vector<double> Evaluator::GroupNdcg(const EmbeddingModel& model,
+                                         uint32_t num_groups) const {
+  const std::vector<uint32_t> item_group = data_.PopularityGroups(num_groups);
+  const Matrix item_normed = NormalizeItems(model);
+  std::vector<double> acc(num_groups, 0.0);
+  std::vector<float> scores;
+  size_t users = 0;
+  for (uint32_t u = 0; u < data_.num_users(); ++u) {
+    const auto test_items = data_.TestItems(u);
+    if (test_items.empty()) continue;
+    ScoreUser(model, item_normed, u, scores);
+    const std::vector<uint32_t> ranking = RankTopK(scores, u, k_);
+    AccumulateGroupNdcg(ranking, test_items, k_, item_group, acc);
+    ++users;
+  }
+  if (users > 0) {
+    for (double& x : acc) x /= static_cast<double>(users);
+  }
+  return acc;
+}
+
+std::vector<uint32_t> Evaluator::TopKForUser(const EmbeddingModel& model,
+                                             uint32_t user) const {
+  const Matrix item_normed = NormalizeItems(model);
+  std::vector<float> scores;
+  ScoreUser(model, item_normed, user, scores);
+  return RankTopK(scores, user, k_);
+}
+
+std::vector<double> Evaluator::ItemExposure(const EmbeddingModel& model) const {
+  const Matrix item_normed = NormalizeItems(model);
+  std::vector<double> exposure(data_.num_items(), 0.0);
+  std::vector<float> scores;
+  for (uint32_t u = 0; u < data_.num_users(); ++u) {
+    if (data_.TestItems(u).empty()) continue;
+    ScoreUser(model, item_normed, u, scores);
+    for (uint32_t item : RankTopK(scores, u, k_)) exposure[item] += 1.0;
+  }
+  return exposure;
+}
+
+}  // namespace bslrec

@@ -1,0 +1,62 @@
+// Full-ranking top-K evaluator.
+//
+// Implements the paper's protocol: for every user with test interactions,
+// rank the *entire* catalog by cosine score, mask the user's training
+// positives, and average Recall@K / NDCG@K / Precision@K / HitRate@K over
+// users. Also provides the popularity-group NDCG decomposition behind the
+// fairness figures and raw top-K lists for analysis.
+#ifndef BSLREC_EVAL_EVALUATOR_H_
+#define BSLREC_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "models/model.h"
+
+namespace bslrec {
+
+class Evaluator {
+ public:
+  // `data` must outlive the evaluator.
+  Evaluator(const Dataset& data, uint32_t k);
+
+  uint32_t k() const { return k_; }
+
+  // Aggregate metrics at cutoff k() over all users with test items.
+  TopKMetrics Evaluate(const EmbeddingModel& model) const;
+
+  // Metrics at an arbitrary cutoff (Fig 7 uses 5/10/15/20).
+  TopKMetrics EvaluateAtK(const EmbeddingModel& model, uint32_t k) const;
+
+  // Mean per-group NDCG contributions over test users; summing the vector
+  // gives overall NDCG@k(). Larger group id = more popular items.
+  std::vector<double> GroupNdcg(const EmbeddingModel& model,
+                                uint32_t num_groups) const;
+
+  // Top-k()-ranked items for a single user (train positives masked).
+  std::vector<uint32_t> TopKForUser(const EmbeddingModel& model,
+                                    uint32_t user) const;
+
+  // How often each item appears in the top-k() lists across all test
+  // users ("exposure"). Feed to GiniCoefficient for a concentration
+  // summary of the recommendation policy.
+  std::vector<double> ItemExposure(const EmbeddingModel& model) const;
+
+ private:
+  // Scores all items for `user` against the normalized item table.
+  void ScoreUser(const EmbeddingModel& model, const Matrix& item_normed,
+                 uint32_t user, std::vector<float>& scores) const;
+  std::vector<uint32_t> RankTopK(const std::vector<float>& scores,
+                                 uint32_t user, uint32_t k) const;
+  // Normalizes all item embeddings into a reusable table.
+  Matrix NormalizeItems(const EmbeddingModel& model) const;
+
+  const Dataset& data_;
+  uint32_t k_;
+};
+
+}  // namespace bslrec
+
+#endif  // BSLREC_EVAL_EVALUATOR_H_

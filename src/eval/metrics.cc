@@ -1,0 +1,136 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "math/check.h"
+
+namespace bslrec {
+
+namespace {
+
+inline bool InTestSet(std::span<const uint32_t> test_items, uint32_t item) {
+  return std::binary_search(test_items.begin(), test_items.end(), item);
+}
+
+inline double RankDiscount(size_t rank_0based) {
+  return 1.0 / std::log2(static_cast<double>(rank_0based) + 2.0);
+}
+
+}  // namespace
+
+double RecallAtK(std::span<const uint32_t> ranking,
+                 std::span<const uint32_t> test_items) {
+  if (test_items.empty()) return 0.0;
+  size_t hits = 0;
+  for (uint32_t item : ranking) {
+    if (InTestSet(test_items, item)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(test_items.size());
+}
+
+double DcgAtK(std::span<const uint32_t> ranking,
+              std::span<const uint32_t> test_items) {
+  double dcg = 0.0;
+  for (size_t k = 0; k < ranking.size(); ++k) {
+    if (InTestSet(test_items, ranking[k])) dcg += RankDiscount(k);
+  }
+  return dcg;
+}
+
+double IdealDcgAtK(size_t num_test_items, size_t k) {
+  const size_t n = std::min(num_test_items, k);
+  double idcg = 0.0;
+  for (size_t r = 0; r < n; ++r) idcg += RankDiscount(r);
+  return idcg;
+}
+
+double NdcgAtK(std::span<const uint32_t> ranking,
+               std::span<const uint32_t> test_items, size_t k) {
+  if (test_items.empty()) return 0.0;
+  const double idcg = IdealDcgAtK(test_items.size(), k);
+  if (idcg <= 0.0) return 0.0;
+  return DcgAtK(ranking, test_items) / idcg;
+}
+
+double PrecisionAtK(std::span<const uint32_t> ranking,
+                    std::span<const uint32_t> test_items, size_t k) {
+  if (k == 0) return 0.0;
+  size_t hits = 0;
+  for (uint32_t item : ranking) {
+    if (InTestSet(test_items, item)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double HitAtK(std::span<const uint32_t> ranking,
+              std::span<const uint32_t> test_items) {
+  for (uint32_t item : ranking) {
+    if (InTestSet(test_items, item)) return 1.0;
+  }
+  return 0.0;
+}
+
+double MrrAtK(std::span<const uint32_t> ranking,
+              std::span<const uint32_t> test_items) {
+  for (size_t r = 0; r < ranking.size(); ++r) {
+    if (InTestSet(test_items, ranking[r])) {
+      return 1.0 / static_cast<double>(r + 1);
+    }
+  }
+  return 0.0;
+}
+
+double AveragePrecisionAtK(std::span<const uint32_t> ranking,
+                           std::span<const uint32_t> test_items, size_t k) {
+  if (test_items.empty() || k == 0) return 0.0;
+  size_t hits = 0;
+  double sum_precision = 0.0;
+  for (size_t r = 0; r < ranking.size() && r < k; ++r) {
+    if (InTestSet(test_items, ranking[r])) {
+      ++hits;
+      sum_precision +=
+          static_cast<double>(hits) / static_cast<double>(r + 1);
+    }
+  }
+  const double denom =
+      static_cast<double>(std::min(test_items.size(), k));
+  return sum_precision / denom;
+}
+
+double GiniCoefficient(std::span<const double> values) {
+  const size_t n = values.size();
+  if (n == 0) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double cum_weighted = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    BSLREC_CHECK_MSG(sorted[i] >= 0.0, "Gini requires non-negative values");
+    cum_weighted += static_cast<double>(i + 1) * sorted[i];
+    total += sorted[i];
+  }
+  if (total <= 0.0) return 0.0;
+  const double nn = static_cast<double>(n);
+  return (2.0 * cum_weighted) / (nn * total) - (nn + 1.0) / nn;
+}
+
+void AccumulateGroupNdcg(std::span<const uint32_t> ranking,
+                         std::span<const uint32_t> test_items, size_t k,
+                         std::span<const uint32_t> item_group,
+                         std::span<double> group_acc) {
+  if (test_items.empty()) return;
+  const double idcg = IdealDcgAtK(test_items.size(), k);
+  if (idcg <= 0.0) return;
+  for (size_t r = 0; r < ranking.size(); ++r) {
+    const uint32_t item = ranking[r];
+    if (!InTestSet(test_items, item)) continue;
+    BSLREC_CHECK(item < item_group.size());
+    const uint32_t g = item_group[item];
+    BSLREC_CHECK(g < group_acc.size());
+    group_acc[g] += RankDiscount(r) / idcg;
+  }
+}
+
+}  // namespace bslrec

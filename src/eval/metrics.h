@@ -1,0 +1,68 @@
+// Ranking metrics for top-K recommendation.
+//
+// All functions take the model's ranked recommendation list (best first,
+// train items already excluded) and the user's ground-truth test items
+// (sorted ascending). Definitions follow the paper's protocol
+// (Recall@20 / NDCG@20 under full ranking):
+//
+//   Recall@K = |top-K ∩ test| / |test|
+//   DCG@K    = sum_{k : item_k in test} 1 / log2(k + 2)        (k 0-based)
+//   IDCG@K   = sum_{k < min(K, |test|)} 1 / log2(k + 2)
+//   NDCG@K   = DCG@K / IDCG@K
+#ifndef BSLREC_EVAL_METRICS_H_
+#define BSLREC_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bslrec {
+
+// Aggregate metrics over a user population at a fixed cutoff K.
+struct TopKMetrics {
+  double recall = 0.0;
+  double ndcg = 0.0;
+  double precision = 0.0;
+  double hit_rate = 0.0;
+  size_t num_users = 0;  // users averaged over
+};
+
+// Per-user metric kernels. `ranking` is the top-K list (size <= K is
+// allowed when the catalog is small); `test_items` must be sorted.
+double RecallAtK(std::span<const uint32_t> ranking,
+                 std::span<const uint32_t> test_items);
+double DcgAtK(std::span<const uint32_t> ranking,
+              std::span<const uint32_t> test_items);
+double IdealDcgAtK(size_t num_test_items, size_t k);
+double NdcgAtK(std::span<const uint32_t> ranking,
+               std::span<const uint32_t> test_items, size_t k);
+double PrecisionAtK(std::span<const uint32_t> ranking,
+                    std::span<const uint32_t> test_items, size_t k);
+double HitAtK(std::span<const uint32_t> ranking,
+              std::span<const uint32_t> test_items);
+
+// Mean reciprocal rank: 1/(rank+1) of the first hit, 0 when no hit.
+double MrrAtK(std::span<const uint32_t> ranking,
+              std::span<const uint32_t> test_items);
+
+// Average precision truncated at K:
+//   AP@K = (1/min(K,|test|)) * sum_{hits k} Precision@(k+1).
+double AveragePrecisionAtK(std::span<const uint32_t> ranking,
+                           std::span<const uint32_t> test_items, size_t k);
+
+// Gini coefficient of a non-negative exposure histogram (0 = perfectly
+// equal exposure across items, 1 = all exposure on one item). Used by
+// the fairness audits to summarize recommendation concentration.
+double GiniCoefficient(std::span<const double> values);
+
+// Per-group DCG decomposition for the fairness analysis (Figs 4a, 5):
+// adds 1/log2(rank+2) / IDCG_u to bucket group[item] for every hit, so
+// summing the returned vector over groups reproduces the user's NDCG.
+void AccumulateGroupNdcg(std::span<const uint32_t> ranking,
+                         std::span<const uint32_t> test_items, size_t k,
+                         std::span<const uint32_t> item_group,
+                         std::span<double> group_acc);
+
+}  // namespace bslrec
+
+#endif  // BSLREC_EVAL_METRICS_H_

@@ -1,0 +1,85 @@
+#include "graph/bipartite_graph.h"
+
+#include <cmath>
+
+#include "math/check.h"
+
+namespace bslrec {
+
+namespace {
+
+// Builds the symmetric normalized adjacency over U+I nodes from an edge
+// list with explicit degrees (weights 1/sqrt(d_u * d_i)).
+SparseMatrix BuildAdjacency(uint32_t num_users, uint32_t num_items,
+                            const std::vector<Edge>& edges,
+                            const std::vector<uint32_t>& user_degree,
+                            const std::vector<uint32_t>& item_degree,
+                            double rescale) {
+  const size_t n = num_users + num_items;
+  std::vector<uint32_t> rows, cols;
+  std::vector<float> vals;
+  rows.reserve(edges.size() * 2);
+  cols.reserve(edges.size() * 2);
+  vals.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    const double du = user_degree[e.user];
+    const double di = item_degree[e.item];
+    if (du == 0.0 || di == 0.0) continue;
+    const float w = static_cast<float>(rescale / std::sqrt(du * di));
+    const uint32_t item_node = num_users + e.item;
+    rows.push_back(e.user);
+    cols.push_back(item_node);
+    vals.push_back(w);
+    rows.push_back(item_node);
+    cols.push_back(e.user);
+    vals.push_back(w);
+  }
+  return SparseMatrix(n, n, rows, cols, vals);
+}
+
+}  // namespace
+
+BipartiteGraph::BipartiteGraph(const Dataset& data)
+    : num_users_(data.num_users()),
+      num_items_(data.num_items()),
+      user_degree_(data.num_users(), 0),
+      item_degree_(data.num_items(), 0),
+      edges_(data.train_edges()) {
+  for (const Edge& e : edges_) {
+    ++user_degree_[e.user];
+    ++item_degree_[e.item];
+  }
+  adjacency_ = BuildAdjacency(num_users_, num_items_, edges_, user_degree_,
+                              item_degree_, /*rescale=*/1.0);
+
+  // Normalized U x I block for SVD views.
+  std::vector<uint32_t> rows, cols;
+  std::vector<float> vals;
+  rows.reserve(edges_.size());
+  cols.reserve(edges_.size());
+  vals.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    const double du = user_degree_[e.user];
+    const double di = item_degree_[e.item];
+    rows.push_back(e.user);
+    cols.push_back(e.item);
+    vals.push_back(static_cast<float>(1.0 / std::sqrt(du * di)));
+  }
+  ratings_ = SparseMatrix(num_users_, num_items_, rows, cols, vals);
+}
+
+SparseMatrix BipartiteGraph::EdgeDropout(double p, Rng& rng) const {
+  BSLREC_CHECK(p >= 0.0 && p < 1.0);
+  std::vector<Edge> kept;
+  kept.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (!rng.NextBernoulli(p)) kept.push_back(e);
+  }
+  // Inverted-dropout rescale keeps the expected propagation magnitude
+  // equal to the clean graph's.
+  const double rescale = 1.0 / (1.0 - p);
+  return BuildAdjacency(num_users_, num_items_, kept, user_degree_,
+                        item_degree_, rescale);
+}
+
+}  // namespace bslrec

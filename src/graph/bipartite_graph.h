@@ -1,0 +1,63 @@
+// Normalized user-item bipartite graph.
+//
+// GCN backbones operate on the symmetric normalized adjacency of the
+// bipartite interaction graph (LightGCN Eq. 8):
+//
+//      A = [ 0   R ]        A_hat = D^{-1/2} A D^{-1/2}
+//          [ R^T 0 ]
+//
+// Node ids: users occupy [0, U), items occupy [U, U+I). `Adjacency()`
+// returns A_hat over the combined node space; `NormalizedRatings()`
+// returns the U x I block R_hat = D_u^{-1/2} R D_i^{-1/2} used by the
+// LightGCL SVD view. `EdgeDropout` produces the SGL-style augmented graph:
+// each interaction is kept with probability 1-p and surviving edges are
+// re-normalized on the *original* degrees scaled by 1/(1-p), matching the
+// inverted-dropout convention.
+#ifndef BSLREC_GRAPH_BIPARTITE_GRAPH_H_
+#define BSLREC_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/propagation.h"
+#include "math/rng.h"
+
+namespace bslrec {
+
+class BipartiteGraph {
+ public:
+  // Builds the normalized adjacency from the train split of `data`.
+  explicit BipartiteGraph(const Dataset& data);
+
+  uint32_t num_users() const { return num_users_; }
+  uint32_t num_items() const { return num_items_; }
+  uint32_t num_nodes() const { return num_users_ + num_items_; }
+
+  // Symmetric normalized adjacency over users+items.
+  const SparseMatrix& Adjacency() const { return adjacency_; }
+
+  // Normalized U x I rating block (for SVD-based views).
+  const SparseMatrix& NormalizedRatings() const { return ratings_; }
+
+  // Train degree of user u / item i (0 for isolated nodes).
+  uint32_t UserDegree(uint32_t u) const { return user_degree_[u]; }
+  uint32_t ItemDegree(uint32_t i) const { return item_degree_[i]; }
+
+  // Returns the normalized adjacency of an edge-dropped copy of the graph
+  // (each undirected interaction dropped i.i.d. with probability p).
+  SparseMatrix EdgeDropout(double p, Rng& rng) const;
+
+ private:
+  uint32_t num_users_ = 0;
+  uint32_t num_items_ = 0;
+  std::vector<uint32_t> user_degree_;
+  std::vector<uint32_t> item_degree_;
+  std::vector<Edge> edges_;
+  SparseMatrix adjacency_;
+  SparseMatrix ratings_;
+};
+
+}  // namespace bslrec
+
+#endif  // BSLREC_GRAPH_BIPARTITE_GRAPH_H_

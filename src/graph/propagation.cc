@@ -1,0 +1,81 @@
+#include "graph/propagation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "math/check.h"
+
+namespace bslrec {
+
+SparseMatrix::SparseMatrix(size_t rows, size_t cols,
+                           const std::vector<uint32_t>& coo_rows,
+                           const std::vector<uint32_t>& coo_cols,
+                           const std::vector<float>& coo_vals)
+    : rows_(rows), cols_(cols) {
+  BSLREC_CHECK(coo_rows.size() == coo_cols.size() &&
+               coo_rows.size() == coo_vals.size());
+  const size_t nnz_in = coo_rows.size();
+
+  // Sort triplet indices by (row, col) so duplicates are adjacent.
+  std::vector<size_t> order(nnz_in);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (coo_rows[a] != coo_rows[b]) return coo_rows[a] < coo_rows[b];
+    return coo_cols[a] < coo_cols[b];
+  });
+
+  row_offsets_.assign(rows + 1, 0);
+  col_indices_.reserve(nnz_in);
+  values_.reserve(nnz_in);
+  uint32_t prev_row = 0, prev_col = 0;
+  bool have_prev = false;
+  for (size_t n = 0; n < nnz_in; ++n) {
+    const size_t k = order[n];
+    const uint32_t r = coo_rows[k];
+    const uint32_t c = coo_cols[k];
+    BSLREC_CHECK(r < rows && c < cols);
+    if (have_prev && r == prev_row && c == prev_col) {
+      values_.back() += coo_vals[k];  // merge duplicate entry
+      continue;
+    }
+    col_indices_.push_back(c);
+    values_.push_back(coo_vals[k]);
+    ++row_offsets_[r + 1];
+    prev_row = r;
+    prev_col = c;
+    have_prev = true;
+  }
+  for (size_t r = 0; r < rows; ++r) row_offsets_[r + 1] += row_offsets_[r];
+}
+
+void SparseMatrix::Multiply(const Matrix& x, Matrix& out) const {
+  BSLREC_CHECK(x.rows() == cols_ && out.rows() == rows_ &&
+               x.cols() == out.cols());
+  const size_t d = x.cols();
+  out.SetZero();
+  for (size_t r = 0; r < rows_; ++r) {
+    float* out_row = out.Row(r);
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const float w = values_[k];
+      const float* x_row = x.Row(col_indices_[k]);
+      for (size_t c = 0; c < d; ++c) out_row[c] += w * x_row[c];
+    }
+  }
+}
+
+void SparseMatrix::TransposeMultiply(const Matrix& x, Matrix& out) const {
+  BSLREC_CHECK(x.rows() == rows_ && out.rows() == cols_ &&
+               x.cols() == out.cols());
+  const size_t d = x.cols();
+  out.SetZero();
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* x_row = x.Row(r);
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const float w = values_[k];
+      float* out_row = out.Row(col_indices_[k]);
+      for (size_t c = 0; c < d; ++c) out_row[c] += w * x_row[c];
+    }
+  }
+}
+
+}  // namespace bslrec

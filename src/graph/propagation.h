@@ -1,0 +1,55 @@
+// Sparse matrix and embedding propagation kernels.
+//
+// Graph-based backbones (NGCF, LightGCN, SGL, SimGCL, LightGCL) propagate
+// embeddings through the normalized bipartite adjacency. `SparseMatrix` is
+// a CSR matrix with just the two products the models need: A*X and A^T*X
+// over row-major dense matrices. Because the normalized adjacency we build
+// is symmetric, backward passes reuse the forward product.
+#ifndef BSLREC_GRAPH_PROPAGATION_H_
+#define BSLREC_GRAPH_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace bslrec {
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  // Builds a rows x cols CSR matrix from COO triplets. Duplicate entries
+  // are summed.
+  SparseMatrix(size_t rows, size_t cols,
+               const std::vector<uint32_t>& coo_rows,
+               const std::vector<uint32_t>& coo_cols,
+               const std::vector<float>& coo_vals);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  // out = this * x. Requires x.rows() == cols(), out.rows() == rows(),
+  // matching column counts. `out` is overwritten.
+  void Multiply(const Matrix& x, Matrix& out) const;
+
+  // out = this^T * x. Requires x.rows() == rows(), out.rows() == cols().
+  void TransposeMultiply(const Matrix& x, Matrix& out) const;
+
+  // Row iteration helpers (used by tests and by the SVD).
+  const std::vector<size_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<uint32_t>& col_indices() const { return col_indices_; }
+  const std::vector<float>& values() const { return values_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<size_t> row_offsets_;
+  std::vector<uint32_t> col_indices_;
+  std::vector<float> values_;
+};
+
+}  // namespace bslrec
+
+#endif  // BSLREC_GRAPH_PROPAGATION_H_

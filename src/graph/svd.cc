@@ -1,0 +1,190 @@
+#include "graph/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "math/check.h"
+#include "math/vec.h"
+
+namespace bslrec {
+
+namespace {
+
+// Cyclic Jacobi eigendecomposition of a small symmetric matrix `m`
+// (n x n, row-major, destroyed). Writes eigenvalues into `eigenvalues`
+// and the corresponding orthonormal eigenvectors into the *columns* of
+// `eigenvectors` (n x n).
+void JacobiEigen(std::vector<double>& m, size_t n,
+                 std::vector<double>& eigenvalues,
+                 std::vector<double>& eigenvectors) {
+  eigenvectors.assign(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) eigenvectors[i * n + i] = 1.0;
+
+  constexpr int kMaxSweeps = 60;
+  constexpr double kTol = 1e-14;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += m[p * n + q] * m[p * n + q];
+    }
+    if (off < kTol) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m[p * n + p];
+        const double aqq = m[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          const double mkp = m[k * n + p];
+          const double mkq = m[k * n + q];
+          m[k * n + p] = c * mkp - s * mkq;
+          m[k * n + q] = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double mpk = m[p * n + k];
+          const double mqk = m[q * n + k];
+          m[p * n + k] = c * mpk - s * mqk;
+          m[q * n + k] = s * mpk + c * mqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = eigenvectors[k * n + p];
+          const double vkq = eigenvectors[k * n + q];
+          eigenvectors[k * n + p] = c * vkp - s * vkq;
+          eigenvectors[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  eigenvalues.resize(n);
+  for (size_t i = 0; i < n; ++i) eigenvalues[i] = m[i * n + i];
+}
+
+}  // namespace
+
+void OrthonormalizeColumns(Matrix& m, Rng& rng) {
+  const size_t rows = m.rows();
+  const size_t cols = m.cols();
+  // Modified Gram-Schmidt, column-major access on row-major storage.
+  for (size_t j = 0; j < cols; ++j) {
+    for (size_t prev = 0; prev < j; ++prev) {
+      double dot = 0.0;
+      for (size_t r = 0; r < rows; ++r) {
+        dot += static_cast<double>(m.At(r, j)) * m.At(r, prev);
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        m.At(r, j) -= static_cast<float>(dot) * m.At(r, prev);
+      }
+    }
+    double norm_sq = 0.0;
+    for (size_t r = 0; r < rows; ++r) {
+      norm_sq += static_cast<double>(m.At(r, j)) * m.At(r, j);
+    }
+    double norm = std::sqrt(norm_sq);
+    if (norm < 1e-10) {
+      // Degenerate direction: re-seed with random data and retry against
+      // the already-fixed prefix.
+      for (size_t r = 0; r < rows; ++r) {
+        m.At(r, j) = static_cast<float>(rng.NextGaussian());
+      }
+      for (size_t prev = 0; prev < j; ++prev) {
+        double dot = 0.0;
+        for (size_t r = 0; r < rows; ++r) {
+          dot += static_cast<double>(m.At(r, j)) * m.At(r, prev);
+        }
+        for (size_t r = 0; r < rows; ++r) {
+          m.At(r, j) -= static_cast<float>(dot) * m.At(r, prev);
+        }
+      }
+      norm_sq = 0.0;
+      for (size_t r = 0; r < rows; ++r) {
+        norm_sq += static_cast<double>(m.At(r, j)) * m.At(r, j);
+      }
+      norm = std::sqrt(norm_sq);
+      BSLREC_CHECK(norm > 1e-10);
+    }
+    const float inv = static_cast<float>(1.0 / norm);
+    for (size_t r = 0; r < rows; ++r) m.At(r, j) *= inv;
+  }
+}
+
+SvdResult TruncatedSvd(const SparseMatrix& a, size_t rank, size_t power_iters,
+                       Rng& rng) {
+  const size_t rows = a.rows();
+  const size_t cols = a.cols();
+  BSLREC_CHECK(rank > 0 && rank <= std::min(rows, cols));
+
+  // Range sketch Y = A * G, then power iterations to sharpen the spectrum.
+  Matrix g(cols, rank);
+  g.InitGaussian(rng, 1.0f);
+  Matrix y(rows, rank);
+  a.Multiply(g, y);
+  OrthonormalizeColumns(y, rng);
+  Matrix z(cols, rank);
+  for (size_t it = 0; it < power_iters; ++it) {
+    a.TransposeMultiply(y, z);
+    OrthonormalizeColumns(z, rng);
+    a.Multiply(z, y);
+    OrthonormalizeColumns(y, rng);
+  }
+
+  // Project: Z2 = A^T Y (cols x rank); B = Z2^T has B B^T = Z2^T Z2.
+  Matrix z2(cols, rank);
+  a.TransposeMultiply(y, z2);
+  std::vector<double> small(rank * rank, 0.0);
+  for (size_t i = 0; i < rank; ++i) {
+    for (size_t j = i; j < rank; ++j) {
+      double acc = 0.0;
+      for (size_t r = 0; r < cols; ++r) {
+        acc += static_cast<double>(z2.At(r, i)) * z2.At(r, j);
+      }
+      small[i * rank + j] = acc;
+      small[j * rank + i] = acc;
+    }
+  }
+  std::vector<double> eigenvalues, w;
+  JacobiEigen(small, rank, eigenvalues, w);
+
+  // Order by descending eigenvalue.
+  std::vector<size_t> order(rank);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t yy) {
+    return eigenvalues[x] > eigenvalues[yy];
+  });
+
+  SvdResult res;
+  res.u = Matrix(rows, rank);
+  res.v = Matrix(cols, rank);
+  res.singular.resize(rank);
+  for (size_t jj = 0; jj < rank; ++jj) {
+    const size_t src = order[jj];
+    const double sigma = std::sqrt(std::max(0.0, eigenvalues[src]));
+    res.singular[jj] = static_cast<float>(sigma);
+    // U column = Y * w_col.
+    for (size_t r = 0; r < rows; ++r) {
+      double acc = 0.0;
+      for (size_t k = 0; k < rank; ++k) {
+        acc += static_cast<double>(y.At(r, k)) * w[k * rank + src];
+      }
+      res.u.At(r, jj) = static_cast<float>(acc);
+    }
+    // V column = Z2 * w_col / sigma.
+    const double inv_sigma = sigma > 1e-12 ? 1.0 / sigma : 0.0;
+    for (size_t r = 0; r < cols; ++r) {
+      double acc = 0.0;
+      for (size_t k = 0; k < rank; ++k) {
+        acc += static_cast<double>(z2.At(r, k)) * w[k * rank + src];
+      }
+      res.v.At(r, jj) = static_cast<float>(acc * inv_sigma);
+    }
+  }
+  return res;
+}
+
+}  // namespace bslrec

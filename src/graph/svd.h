@@ -1,0 +1,38 @@
+// Truncated SVD via randomized subspace iteration.
+//
+// LightGCL (Cai et al., ICLR 2023) propagates embeddings through a rank-q
+// SVD reconstruction of the normalized rating matrix instead of a
+// stochastically augmented graph. This module computes that factorization
+// for sparse matrices with a few hundred to a few thousand rows: random
+// range sketch, power iterations with re-orthonormalization, then an SVD
+// of the small projected matrix (via Jacobi eigendecomposition of B B^T).
+#ifndef BSLREC_GRAPH_SVD_H_
+#define BSLREC_GRAPH_SVD_H_
+
+#include <cstddef>
+
+#include "graph/propagation.h"
+#include "math/matrix.h"
+#include "math/rng.h"
+
+namespace bslrec {
+
+struct SvdResult {
+  Matrix u;                     // rows x rank, orthonormal columns
+  std::vector<float> singular;  // rank singular values (descending)
+  Matrix v;                     // cols x rank, orthonormal columns
+};
+
+// Rank-`rank` truncated SVD of `a` (approximately; accuracy improves with
+// `power_iters`, 2-4 is plenty for graph spectra). Requires
+// rank <= min(rows, cols).
+SvdResult TruncatedSvd(const SparseMatrix& a, size_t rank, size_t power_iters,
+                       Rng& rng);
+
+// Orthonormalizes the columns of m in place (modified Gram-Schmidt).
+// Columns that collapse to (numerical) zero are re-seeded from rng.
+void OrthonormalizeColumns(Matrix& m, Rng& rng);
+
+}  // namespace bslrec
+
+#endif  // BSLREC_GRAPH_SVD_H_

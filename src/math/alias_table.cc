@@ -1,0 +1,78 @@
+#include "math/alias_table.h"
+
+#include <cmath>
+
+#include "math/check.h"
+
+namespace bslrec {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  BSLREC_CHECK(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    BSLREC_CHECK_MSG(w >= 0.0, "negative weight");
+    total += w;
+  }
+  BSLREC_CHECK_MSG(total > 0.0, "all weights are zero");
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; split into under- and over-full buckets.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Remaining buckets are (numerically) exactly full.
+  for (uint32_t s : small) prob_[s] = 1.0;
+  for (uint32_t l : large) prob_[l] = 1.0;
+}
+
+uint32_t AliasTable::Sample(Rng& rng) const {
+  BSLREC_CHECK(!prob_.empty());
+  const uint32_t i = static_cast<uint32_t>(rng.NextIndex(prob_.size()));
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+double AliasTable::Probability(uint32_t i) const {
+  BSLREC_CHECK(i < normalized_.size());
+  return normalized_[i];
+}
+
+std::vector<double> ZipfWeights(size_t n, double alpha) {
+  BSLREC_CHECK(n > 0);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  }
+  return w;
+}
+
+}  // namespace bslrec

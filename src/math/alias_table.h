@@ -1,0 +1,44 @@
+// Walker alias method for O(1) sampling from a discrete distribution.
+//
+// Used by the popularity-based negative sampler and by the synthetic data
+// generator (Zipf item popularity). Construction is O(n); each draw costs
+// one uniform index + one Bernoulli.
+#ifndef BSLREC_MATH_ALIAS_TABLE_H_
+#define BSLREC_MATH_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace bslrec {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  // Builds the table from non-negative weights (need not be normalized).
+  // Requires at least one strictly positive weight.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  // Draws an index in [0, size()) with probability proportional to its weight.
+  uint32_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  // Probability of index i under the normalized distribution.
+  double Probability(uint32_t i) const;
+
+ private:
+  std::vector<double> prob_;      // acceptance probability per bucket
+  std::vector<uint32_t> alias_;   // fallback index per bucket
+  std::vector<double> normalized_;  // normalized weights (for Probability())
+};
+
+// Convenience: weights[i] = 1 / (i+1)^alpha, the Zipf popularity profile
+// used by the synthetic dataset generator.
+std::vector<double> ZipfWeights(size_t n, double alpha);
+
+}  // namespace bslrec
+
+#endif  // BSLREC_MATH_ALIAS_TABLE_H_

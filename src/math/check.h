@@ -1,0 +1,37 @@
+// Lightweight precondition / invariant checking.
+//
+// The library follows the Google C++ style: no exceptions cross the public
+// API. Programmer errors (violated preconditions, broken invariants) abort
+// with a diagnostic; recoverable conditions (I/O, parsing) are reported via
+// return values instead.
+#ifndef BSLREC_MATH_CHECK_H_
+#define BSLREC_MATH_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a file:line diagnostic when `condition` is false.
+// Always enabled (also in release builds): every call site guards a
+// programmer-error precondition, never a hot inner loop.
+#define BSLREC_CHECK(condition)                                          \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "BSLREC_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #condition);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+// Like BSLREC_CHECK but with a printf-style message appended.
+#define BSLREC_CHECK_MSG(condition, ...)                                 \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "BSLREC_CHECK failed at %s:%d: %s: ",         \
+                   __FILE__, __LINE__, #condition);                      \
+      std::fprintf(stderr, __VA_ARGS__);                                 \
+      std::fprintf(stderr, "\n");                                        \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#endif  // BSLREC_MATH_CHECK_H_

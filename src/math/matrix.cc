@@ -1,0 +1,90 @@
+#include "math/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bslrec {
+
+void Matrix::SetZero() {
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+void Matrix::AddScaled(const Matrix& other, float alpha) {
+  BSLREC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] += alpha * other.data_[k];
+}
+
+void Matrix::InitXavierUniform(Rng& rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(rows_ + cols_));
+  for (auto& v : data_) {
+    v = static_cast<float>((2.0 * rng.NextDouble() - 1.0) * a);
+  }
+}
+
+void Matrix::InitGaussian(Rng& rng, float stddev) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng.NextGaussian() * stddev);
+  }
+}
+
+float Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix& out) {
+  out.SetZero();
+  MatMulAccum(a, b, out);
+}
+
+void MatMulAccum(const Matrix& a, const Matrix& b, Matrix& out) {
+  BSLREC_CHECK(a.cols() == b.rows() && out.rows() == a.rows() &&
+               out.cols() == b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* ar = a.Row(i);
+    float* or_ = out.Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = ar[p];
+      if (av == 0.0f) continue;
+      const float* br = b.Row(p);
+      for (size_t j = 0; j < n; ++j) or_[j] += av * br[j];
+    }
+  }
+}
+
+void MatTMul(const Matrix& a, const Matrix& b, Matrix& out) {
+  BSLREC_CHECK(a.rows() == b.rows() && out.rows() == a.cols() &&
+               out.cols() == b.cols());
+  out.SetZero();
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* ar = a.Row(p);
+    const float* br = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = ar[i];
+      if (av == 0.0f) continue;
+      float* or_ = out.Row(i);
+      for (size_t j = 0; j < n; ++j) or_[j] += av * br[j];
+    }
+  }
+}
+
+void MatMulTAccum(const Matrix& a, const Matrix& b, Matrix& out) {
+  BSLREC_CHECK(a.cols() == b.cols() && out.rows() == a.rows() &&
+               out.cols() == b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* ar = a.Row(i);
+    float* or_ = out.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* br = b.Row(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += static_cast<double>(ar[p]) * br[p];
+      or_[j] += static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace bslrec

@@ -1,0 +1,91 @@
+// Row-major dense float matrix.
+//
+// `Matrix` is the storage type for embedding tables, layer weights and
+// their gradients. It is deliberately minimal: contiguous row-major
+// storage, row views, and the few whole-matrix operations the training
+// engine needs (zeroing, scaled accumulation, Xavier/Gaussian init).
+#ifndef BSLREC_MATH_MATRIX_H_
+#define BSLREC_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "math/check.h"
+#include "math/rng.h"
+
+namespace bslrec {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols) {
+    data_.assign(rows * cols, 0.0f);
+  }
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* Row(size_t r) {
+    BSLREC_CHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    BSLREC_CHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float& At(size_t r, size_t c) {
+    BSLREC_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    BSLREC_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  // Resets every entry to zero, keeping the shape.
+  void SetZero();
+
+  // this += alpha * other. Shapes must match.
+  void AddScaled(const Matrix& other, float alpha);
+
+  // Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+  // Matches the initializer the paper uses for all models.
+  void InitXavierUniform(Rng& rng);
+
+  // Gaussian initialization N(0, stddev^2).
+  void InitGaussian(Rng& rng, float stddev);
+
+  // Frobenius norm of the matrix.
+  float FrobeniusNorm() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Dense products used by the NGCF backward pass. Shapes are checked.
+// out = a * b            (a: m x k, b: k x n, out: m x n)
+void MatMul(const Matrix& a, const Matrix& b, Matrix& out);
+// out += a * b
+void MatMulAccum(const Matrix& a, const Matrix& b, Matrix& out);
+// out = a^T * b          (a: k x m, b: k x n, out: m x n)
+void MatTMul(const Matrix& a, const Matrix& b, Matrix& out);
+// out += a * b^T         (a: m x k, b: n x k, out: m x n)
+void MatMulTAccum(const Matrix& a, const Matrix& b, Matrix& out);
+
+}  // namespace bslrec
+
+#endif  // BSLREC_MATH_MATRIX_H_

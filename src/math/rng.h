@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (dataset synthesis, negative
+// sampling, initialization, noise injection, SGD shuffling) draws from an
+// explicitly seeded `Rng` so that experiments are bit-reproducible on a
+// single thread. The core generator is xoshiro256**, seeded through
+// SplitMix64 as recommended by its authors; it is much faster than
+// std::mt19937_64 and has no observable bias for our use cases.
+#ifndef BSLREC_MATH_RNG_H_
+#define BSLREC_MATH_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bslrec {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+// Also usable standalone as a tiny stateless hash/stream generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  // Returns the next 64-bit value in the stream.
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256** generator with convenience sampling helpers.
+//
+// Copyable: copying an Rng forks the stream (both copies produce the same
+// subsequent values), which tests use to replay a sampling decision.
+class Rng {
+ public:
+  // Seeds the generator; two Rng instances with equal seeds produce equal
+  // streams. Seed 0 is valid (state is expanded via SplitMix64).
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Core stream: uniformly distributed 64-bit values.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, n). Requires n > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  uint64_t NextIndex(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Marsaglia polar method (cached spare value).
+  double NextGaussian();
+
+  // Bernoulli draw with success probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextIndex(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) without replacement
+  // (Floyd's algorithm; requires k <= n).
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+ private:
+  uint64_t s_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace bslrec
+
+#endif  // BSLREC_MATH_RNG_H_

@@ -1,0 +1,131 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "math/check.h"
+
+namespace bslrec {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 1) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  RunningStats s;
+  for (double x : v) s.Add(x);
+  return s.variance();
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  BSLREC_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+// Average ranks (1-based), ties get the mean of their rank range.
+std::vector<double> AverageRanks(const std::vector<double>& v) {
+  const size_t n = v.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i) +
+                                   static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  BSLREC_CHECK(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  return PearsonCorrelation(AverageRanks(x), AverageRanks(y));
+}
+
+std::vector<size_t> Histogram(const std::vector<double>& v, double lo,
+                              double hi, size_t bins) {
+  BSLREC_CHECK(bins > 0 && hi > lo);
+  std::vector<size_t> h(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : v) {
+    double b = (x - lo) / width;
+    long idx = static_cast<long>(std::floor(b));
+    idx = std::clamp(idx, 0L, static_cast<long>(bins) - 1);
+    ++h[static_cast<size_t>(idx)];
+  }
+  return h;
+}
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  BSLREC_CHECK(p.size() == q.size());
+  BSLREC_CHECK(!p.empty());
+  const double sp = std::accumulate(p.begin(), p.end(), 0.0);
+  const double sq = std::accumulate(q.begin(), q.end(), 0.0);
+  BSLREC_CHECK(sp > 0.0 && sq > 0.0);
+  constexpr double kEps = 1e-300;
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i] / sp;
+    if (pi <= 0.0) continue;
+    const double qi = std::max(q[i] / sq, kEps);
+    kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+}  // namespace bslrec

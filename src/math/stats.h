@@ -1,0 +1,64 @@
+// Streaming and batch statistics helpers.
+//
+// Welford accumulation gives numerically robust mean/variance for the
+// DRO diagnostics (Lemma 2 needs V[f(u,j)]); the correlation helpers back
+// the property tests (e.g. "optimal tau grows with score variance").
+#ifndef BSLREC_MATH_STATS_H_
+#define BSLREC_MATH_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bslrec {
+
+// Online mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Population variance (divide by n). Returns 0 for n < 1.
+  double variance() const;
+  // Sample variance (divide by n-1). Returns 0 for n < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch mean of v. Returns 0 for empty input.
+double Mean(const std::vector<double>& v);
+
+// Batch population variance of v. Returns 0 for empty input.
+double Variance(const std::vector<double>& v);
+
+// Pearson linear correlation in [-1, 1]; 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+// Equal-width histogram of v over [lo, hi] with `bins` buckets; values
+// outside the range are clamped into the boundary buckets.
+std::vector<size_t> Histogram(const std::vector<double>& v, double lo,
+                              double hi, size_t bins);
+
+// KL divergence KL(p || q) for two discrete distributions given as
+// (non-negative, same-length) weight vectors; each side is normalized
+// internally. Terms with p_i == 0 contribute zero; q_i == 0 with p_i > 0
+// is guarded with a small epsilon.
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+}  // namespace bslrec
+
+#endif  // BSLREC_MATH_STATS_H_

@@ -1,0 +1,97 @@
+#include "math/vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bslrec::vec {
+
+float Dot(const float* a, const float* b, size_t n) {
+  // Accumulate in double to keep reductions stable for long rows.
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) acc += static_cast<double>(a[k]) * b[k];
+  return static_cast<float>(acc);
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t k = 0; k < n; ++k) y[k] += alpha * x[k];
+}
+
+void Scale(float* x, size_t n, float alpha) {
+  for (size_t k = 0; k < n; ++k) x[k] *= alpha;
+}
+
+float Norm(const float* x, size_t n) {
+  return std::sqrt(std::max(0.0f, Dot(x, x, n)));
+}
+
+float Normalize(const float* x, float* out, size_t n, float eps) {
+  const float norm = Norm(x, n);
+  const float inv = 1.0f / std::max(norm, eps);
+  for (size_t k = 0; k < n; ++k) out[k] = x[k] * inv;
+  return norm;
+}
+
+float Cosine(const float* a, const float* b, size_t n) {
+  const float na = Norm(a, n);
+  const float nb = Norm(b, n);
+  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
+  return Dot(a, b, n) / (na * nb);
+}
+
+void Sub(const float* a, const float* b, float* out, size_t n) {
+  for (size_t k = 0; k < n; ++k) out[k] = a[k] - b[k];
+}
+
+void Add(const float* a, const float* b, float* out, size_t n) {
+  for (size_t k = 0; k < n; ++k) out[k] = a[k] + b[k];
+}
+
+void Fill(float* x, size_t n, float v) {
+  std::fill(x, x + n, v);
+}
+
+float SquaredDistance(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    const double d = static_cast<double>(a[k]) - b[k];
+    acc += d * d;
+  }
+  return static_cast<float>(acc);
+}
+
+void AccumulateCosineGrad(const float* u_hat, const float* i_hat, float score,
+                          float u_norm, float coeff, float* grad_u, size_t n) {
+  // d cos / d u = (i_hat - score * u_hat) / ||u||.
+  const float inv = coeff / std::max(u_norm, 1e-12f);
+  for (size_t k = 0; k < n; ++k) {
+    grad_u[k] += inv * (i_hat[k] - score * u_hat[k]);
+  }
+}
+
+double LogSumExp(const float* x, size_t n) {
+  if (n == 0) return -std::numeric_limits<double>::infinity();
+  float max_x = x[0];
+  for (size_t k = 1; k < n; ++k) max_x = std::max(max_x, x[k]);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += std::exp(static_cast<double>(x[k]) - max_x);
+  }
+  return static_cast<double>(max_x) + std::log(acc);
+}
+
+void Softmax(const float* x, float* out, size_t n) {
+  if (n == 0) return;
+  float max_x = x[0];
+  for (size_t k = 1; k < n; ++k) max_x = std::max(max_x, x[k]);
+  double sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    const double e = std::exp(static_cast<double>(x[k]) - max_x);
+    out[k] = static_cast<float>(e);
+    sum += e;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (size_t k = 0; k < n; ++k) out[k] *= inv;
+}
+
+}  // namespace bslrec::vec

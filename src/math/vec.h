@@ -1,0 +1,62 @@
+// Dense vector kernels used throughout the library.
+//
+// Embeddings are stored as contiguous rows of float; all heavy inner loops
+// (dot products, AXPY updates, normalization) funnel through these free
+// functions so they can be audited and benchmarked in one place. The span
+// arguments are raw pointers + length to keep call sites allocation-free.
+#ifndef BSLREC_MATH_VEC_H_
+#define BSLREC_MATH_VEC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bslrec::vec {
+
+// Returns sum_i a[i] * b[i].
+float Dot(const float* a, const float* b, size_t n);
+
+// y += alpha * x  (the classic AXPY update).
+void Axpy(float alpha, const float* x, float* y, size_t n);
+
+// x *= alpha.
+void Scale(float* x, size_t n, float alpha);
+
+// Returns the Euclidean norm ||x||_2.
+float Norm(const float* x, size_t n);
+
+// Writes x / max(||x||, eps) into `out` (out may alias x). Returns the
+// original norm. `eps` guards against division by zero for all-zero rows.
+float Normalize(const float* x, float* out, size_t n, float eps = 1e-12f);
+
+// Returns the cosine similarity a·b / (||a||·||b||), with zero-norm guard.
+float Cosine(const float* a, const float* b, size_t n);
+
+// out = a - b.
+void Sub(const float* a, const float* b, float* out, size_t n);
+
+// out = a + b.
+void Add(const float* a, const float* b, float* out, size_t n);
+
+// Sets all n entries to v.
+void Fill(float* x, size_t n, float v);
+
+// Returns squared Euclidean distance ||a - b||^2.
+float SquaredDistance(const float* a, const float* b, size_t n);
+
+// Gradient of the cosine score f = cos(u, i) with respect to u:
+//   d f / d u = (i_hat - f * u_hat) / ||u||
+// where u_hat, i_hat are the normalized vectors. The caller passes the
+// *normalized* vectors plus the original norm of u; the result is
+// accumulated into `grad_u` scaled by `coeff` (the upstream gradient).
+void AccumulateCosineGrad(const float* u_hat, const float* i_hat, float score,
+                          float u_norm, float coeff, float* grad_u, size_t n);
+
+// Numerically stable log(sum_j exp(x[j])) over n values.
+double LogSumExp(const float* x, size_t n);
+
+// Writes softmax(x) into out (out may alias x). Numerically stable.
+void Softmax(const float* x, float* out, size_t n);
+
+}  // namespace bslrec::vec
+
+#endif  // BSLREC_MATH_VEC_H_

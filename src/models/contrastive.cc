@@ -1,0 +1,262 @@
+#include "models/contrastive.h"
+
+#include <cmath>
+#include <vector>
+
+#include "math/check.h"
+#include "math/vec.h"
+
+namespace bslrec {
+
+ContrastiveModel::ContrastiveModel(const BipartiteGraph& graph, size_t dim,
+                                   const ContrastiveConfig& config, Rng& rng)
+    : LightGcnModel(graph, dim, config.num_layers, rng), config_(config) {
+  if (config_.kind == AugmentationKind::kSvdView) {
+    const size_t rank =
+        std::min(config_.svd_rank,
+                 std::min<size_t>(graph.num_users(), graph.num_items()));
+    svd_ = TruncatedSvd(graph.NormalizedRatings(), rank,
+                        config_.svd_power_iters, rng);
+  }
+}
+
+std::string_view ContrastiveModel::name() const {
+  switch (config_.kind) {
+    case AugmentationKind::kEdgeDropout:
+      return "SGL";
+    case AugmentationKind::kEmbeddingNoise:
+      return "SimGCL";
+    case AugmentationKind::kSvdView:
+      return "LightGCL";
+  }
+  return "Contrastive";
+}
+
+void ContrastiveModel::SvdPropagate(const Matrix& in, Matrix& out) const {
+  BSLREC_CHECK(svd_.has_value());
+  const size_t d = in.cols();
+  const size_t rank = svd_->singular.size();
+  const uint32_t num_u = num_users_;
+  const uint32_t num_i = num_items_;
+  // out_users = U (S ⊙ (V^T in_items)); out_items = V (S ⊙ (U^T in_users)).
+  // One application of the symmetric operator M = [[0, USV^T],[VSU^T, 0]];
+  // the LightGCL view is the mean over propagation depths, mirroring the
+  // LightGCN readout.
+  Matrix current = in;
+  out = in;  // depth-0 term
+  Matrix next(in.rows(), d);
+  Matrix proj(rank, d);
+  for (int layer = 1; layer <= num_layers_; ++layer) {
+    // proj = S ⊙ (V^T current_items)
+    for (size_t r = 0; r < rank; ++r) {
+      for (size_t c = 0; c < d; ++c) proj.At(r, c) = 0.0f;
+    }
+    for (uint32_t i = 0; i < num_i; ++i) {
+      const float* row = current.Row(num_u + i);
+      const float* v_row = svd_->v.Row(i);
+      for (size_t r = 0; r < rank; ++r) {
+        vec::Axpy(v_row[r], row, proj.Row(r), d);
+      }
+    }
+    for (size_t r = 0; r < rank; ++r) {
+      vec::Scale(proj.Row(r), d, svd_->singular[r]);
+    }
+    for (uint32_t u = 0; u < num_u; ++u) {
+      float* row = next.Row(u);
+      vec::Fill(row, d, 0.0f);
+      const float* u_row = svd_->u.Row(u);
+      for (size_t r = 0; r < rank; ++r) {
+        vec::Axpy(u_row[r], proj.Row(r), row, d);
+      }
+    }
+    // proj = S ⊙ (U^T current_users)
+    for (size_t r = 0; r < rank; ++r) {
+      vec::Fill(proj.Row(r), d, 0.0f);
+    }
+    for (uint32_t u = 0; u < num_u; ++u) {
+      const float* row = current.Row(u);
+      const float* u_row = svd_->u.Row(u);
+      for (size_t r = 0; r < rank; ++r) {
+        vec::Axpy(u_row[r], row, proj.Row(r), d);
+      }
+    }
+    for (size_t r = 0; r < rank; ++r) {
+      vec::Scale(proj.Row(r), d, svd_->singular[r]);
+    }
+    for (uint32_t i = 0; i < num_i; ++i) {
+      float* row = next.Row(num_u + i);
+      vec::Fill(row, d, 0.0f);
+      const float* v_row = svd_->v.Row(i);
+      for (size_t r = 0; r < rank; ++r) {
+        vec::Axpy(v_row[r], proj.Row(r), row, d);
+      }
+    }
+    std::swap(current, next);
+    out.AddScaled(current, 1.0f);
+  }
+  const float inv = 1.0f / static_cast<float>(num_layers_ + 1);
+  for (size_t k = 0; k < out.size(); ++k) out.data()[k] *= inv;
+}
+
+void ContrastiveModel::BuildView(const Matrix& in, Matrix& out, Rng& rng,
+                                 std::optional<SparseMatrix>& dropped_graph) {
+  Matrix scratch;
+  switch (config_.kind) {
+    case AugmentationKind::kEdgeDropout: {
+      dropped_graph = graph_.EdgeDropout(config_.edge_drop_rate, rng);
+      LightGcnPropagate(*dropped_graph, in, num_layers_, out, scratch);
+      return;
+    }
+    case AugmentationKind::kEmbeddingNoise: {
+      dropped_graph.reset();
+      LightGcnPropagate(graph_.Adjacency(), in, num_layers_, out, scratch);
+      // Detached additive noise: row-wise random direction scaled to
+      // `noise_magnitude`, sign-aligned with the embedding as in SimGCL.
+      const size_t d = in.cols();
+      std::vector<float> noise(d);
+      for (size_t r = 0; r < out.rows(); ++r) {
+        float* row = out.Row(r);
+        for (size_t c = 0; c < d; ++c) {
+          noise[c] = static_cast<float>(rng.NextGaussian());
+        }
+        vec::Normalize(noise.data(), noise.data(), d);
+        for (size_t c = 0; c < d; ++c) {
+          const float sign = row[c] >= 0.0f ? 1.0f : -1.0f;
+          row[c] += static_cast<float>(config_.noise_magnitude) * sign *
+                    std::abs(noise[c]);
+        }
+      }
+      return;
+    }
+    case AugmentationKind::kSvdView: {
+      dropped_graph.reset();
+      SvdPropagate(in, out);
+      return;
+    }
+  }
+}
+
+void ContrastiveModel::BackwardView(
+    const Matrix& grad, const std::optional<SparseMatrix>& dropped_graph) {
+  Matrix back(grad.rows(), grad.cols());
+  Matrix scratch;
+  switch (config_.kind) {
+    case AugmentationKind::kEdgeDropout:
+      BSLREC_CHECK(dropped_graph.has_value());
+      LightGcnPropagate(*dropped_graph, grad, num_layers_, back, scratch);
+      break;
+    case AugmentationKind::kEmbeddingNoise:
+      // Additive noise is constant w.r.t. parameters.
+      LightGcnPropagate(graph_.Adjacency(), grad, num_layers_, back, scratch);
+      break;
+    case AugmentationKind::kSvdView:
+      SvdPropagate(grad, back);  // operator is symmetric
+      break;
+  }
+  base_grad_.AddScaled(back, 1.0f);
+}
+
+namespace {
+
+// InfoNCE over one node set. z1/z2 hold the two views (full node space);
+// `nodes` indexes the rows taking part. Gradients (w.r.t. the *raw* view
+// rows, cosine chain rule included) are accumulated into g1/g2 scaled by
+// `weight`. Returns the mean InfoNCE loss over the set.
+double InfoNceSet(const Matrix& z1, const Matrix& z2,
+                  std::span<const uint32_t> nodes, double tau, double weight,
+                  Matrix& g1, Matrix& g2) {
+  const size_t b = nodes.size();
+  if (b < 2) return 0.0;
+  const size_t d = z1.cols();
+
+  // Normalized copies + norms for the cosine chain rule.
+  Matrix n1(b, d), n2(b, d);
+  std::vector<float> norm1(b), norm2(b);
+  for (size_t k = 0; k < b; ++k) {
+    norm1[k] = vec::Normalize(z1.Row(nodes[k]), n1.Row(k), d);
+    norm2[k] = vec::Normalize(z2.Row(nodes[k]), n2.Row(k), d);
+  }
+
+  double total_loss = 0.0;
+  std::vector<float> sims(b), probs(b);
+  for (size_t v = 0; v < b; ++v) {
+    for (size_t w = 0; w < b; ++w) {
+      sims[w] = vec::Dot(n1.Row(v), n2.Row(w), d) / static_cast<float>(tau);
+    }
+    const double lse = vec::LogSumExp(sims.data(), b);
+    total_loss += lse - sims[v];
+    vec::Softmax(sims.data(), probs.data(), b);
+    // dL/dsim_vw = probs[w] - 1{w==v}; chain through /tau and cosine.
+    for (size_t w = 0; w < b; ++w) {
+      double coeff = probs[w];
+      if (w == v) coeff -= 1.0;
+      coeff *= weight / (tau * static_cast<double>(b));
+      if (coeff == 0.0) continue;
+      const float score = sims[w] * static_cast<float>(tau);
+      vec::AccumulateCosineGrad(n1.Row(v), n2.Row(w), score, norm1[v],
+                                static_cast<float>(coeff), g1.Row(nodes[v]),
+                                d);
+      vec::AccumulateCosineGrad(n2.Row(w), n1.Row(v), score, norm2[w],
+                                static_cast<float>(coeff), g2.Row(nodes[w]),
+                                d);
+    }
+  }
+  return total_loss / static_cast<double>(b);
+}
+
+}  // namespace
+
+double ContrastiveModel::AuxLossAndGrad(std::span<const uint32_t> batch_users,
+                                        std::span<const uint32_t> batch_items,
+                                        Rng& rng) {
+  const size_t n = graph_.num_nodes();
+  Matrix z1(n, dim_), z2(n, dim_);
+  std::optional<SparseMatrix> g1_graph, g2_graph;
+  // LightGCL contrasts the main propagation with the SVD view; SGL and
+  // SimGCL contrast two independent augmentations.
+  if (config_.kind == AugmentationKind::kSvdView) {
+    Matrix scratch;
+    LightGcnPropagate(graph_.Adjacency(), base_, num_layers_, z1, scratch);
+    SvdPropagate(base_, z2);
+  } else {
+    BuildView(base_, z1, rng, g1_graph);
+    BuildView(base_, z2, rng, g2_graph);
+  }
+
+  // Cap the O(B^2) InfoNCE sets by uniform subsampling (keeps the
+  // estimator unbiased while bounding per-batch cost).
+  const auto cap = [&](std::span<const uint32_t> nodes) {
+    std::vector<uint32_t> out(nodes.begin(), nodes.end());
+    if (config_.max_aux_nodes > 0 && out.size() > config_.max_aux_nodes) {
+      rng.Shuffle(out);
+      out.resize(config_.max_aux_nodes);
+    }
+    return out;
+  };
+  const std::vector<uint32_t> user_nodes = cap(batch_users);
+  // Map item ids into combined node space.
+  std::vector<uint32_t> item_nodes = cap(batch_items);
+  for (uint32_t& node : item_nodes) node += num_users_;
+
+  Matrix grad1(n, dim_), grad2(n, dim_);
+  double loss = 0.0;
+  loss += InfoNceSet(z1, z2, user_nodes, config_.tau_contrast,
+                     config_.lambda, grad1, grad2);
+  loss += InfoNceSet(z1, z2, item_nodes, config_.tau_contrast,
+                     config_.lambda, grad1, grad2);
+
+  if (config_.kind == AugmentationKind::kSvdView) {
+    // grad1 flows through the main propagation, grad2 through the SVD.
+    Matrix back(n, dim_), scratch;
+    LightGcnPropagate(graph_.Adjacency(), grad1, num_layers_, back, scratch);
+    base_grad_.AddScaled(back, 1.0f);
+    SvdPropagate(grad2, back);
+    base_grad_.AddScaled(back, 1.0f);
+  } else {
+    BackwardView(grad1, g1_graph);
+    BackwardView(grad2, g2_graph);
+  }
+  return config_.lambda * loss;
+}
+
+}  // namespace bslrec

@@ -1,0 +1,82 @@
+#include "models/lightgcn.h"
+
+#include <cstring>
+
+#include "math/check.h"
+
+namespace bslrec {
+
+void LightGcnPropagate(const SparseMatrix& adjacency, const Matrix& base,
+                       int num_layers, Matrix& out, Matrix& scratch) {
+  BSLREC_CHECK(num_layers >= 0);
+  BSLREC_CHECK(adjacency.rows() == base.rows() &&
+               adjacency.cols() == base.rows());
+  out = base;  // layer-0 term
+  Matrix current = base;
+  for (int layer = 1; layer <= num_layers; ++layer) {
+    if (scratch.rows() != base.rows() || scratch.cols() != base.cols()) {
+      scratch = Matrix(base.rows(), base.cols());
+    }
+    adjacency.Multiply(current, scratch);
+    std::swap(current, scratch);
+    out.AddScaled(current, 1.0f);
+  }
+  const float inv = 1.0f / static_cast<float>(num_layers + 1);
+  for (size_t k = 0; k < out.size(); ++k) out.data()[k] *= inv;
+}
+
+LightGcnModel::LightGcnModel(const BipartiteGraph& graph, size_t dim,
+                             int num_layers, Rng& rng)
+    : EmbeddingModel(graph.num_users(), graph.num_items(), dim),
+      graph_(graph),
+      num_layers_(num_layers),
+      base_(graph.num_nodes(), dim),
+      base_grad_(graph.num_nodes(), dim),
+      combined_(graph.num_nodes(), dim) {
+  base_.InitXavierUniform(rng);
+}
+
+void LightGcnModel::SplitFinal(const Matrix& combined) {
+  const size_t d = dim_;
+  for (uint32_t u = 0; u < num_users_; ++u) {
+    std::memcpy(final_user_.Row(u), combined.Row(u), d * sizeof(float));
+  }
+  for (uint32_t i = 0; i < num_items_; ++i) {
+    std::memcpy(final_item_.Row(i), combined.Row(num_users_ + i),
+                d * sizeof(float));
+  }
+}
+
+void LightGcnModel::GatherFinalGrad(Matrix& combined) const {
+  const size_t d = dim_;
+  for (uint32_t u = 0; u < num_users_; ++u) {
+    std::memcpy(combined.Row(u), grad_user_.Row(u), d * sizeof(float));
+  }
+  for (uint32_t i = 0; i < num_items_; ++i) {
+    std::memcpy(combined.Row(num_users_ + i), grad_item_.Row(i),
+                d * sizeof(float));
+  }
+}
+
+void LightGcnModel::Forward(Rng&) {
+  LightGcnPropagate(graph_.Adjacency(), base_, num_layers_, combined_,
+                    scratch_a_);
+  SplitFinal(combined_);
+}
+
+void LightGcnModel::Backward() {
+  // The propagation operator P = 1/(L+1) sum A^k is symmetric, so
+  // dL/dBase = P (dL/dFinal).
+  Matrix grad_combined(graph_.num_nodes(), dim_);
+  GatherFinalGrad(grad_combined);
+  Matrix back(graph_.num_nodes(), dim_);
+  LightGcnPropagate(graph_.Adjacency(), grad_combined, num_layers_, back,
+                    scratch_b_);
+  base_grad_.AddScaled(back, 1.0f);
+}
+
+std::vector<ParamGrad> LightGcnModel::Params() {
+  return {{&base_, &base_grad_}};
+}
+
+}  // namespace bslrec

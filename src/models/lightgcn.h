@@ -1,0 +1,53 @@
+// LightGCN backbone (He et al., SIGIR 2020).
+//
+// Parameters: one base embedding table over users+items. Forward runs the
+// linear propagation
+//
+//    E_final = 1/(L+1) * sum_{k=0..L} A_hat^k E_base
+//
+// over the symmetric normalized adjacency A_hat. Because the propagation
+// is linear and A_hat is symmetric, the backward pass applies the *same*
+// operator to the final-embedding gradients.
+#ifndef BSLREC_MODELS_LIGHTGCN_H_
+#define BSLREC_MODELS_LIGHTGCN_H_
+
+#include "graph/bipartite_graph.h"
+#include "models/model.h"
+
+namespace bslrec {
+
+// Mean-of-powers propagation: out = 1/(L+1) sum_{k<=L} A^k base.
+// Exposed for reuse by the contrastive backbones and by tests.
+void LightGcnPropagate(const SparseMatrix& adjacency, const Matrix& base,
+                       int num_layers, Matrix& out, Matrix& scratch);
+
+class LightGcnModel : public EmbeddingModel {
+ public:
+  // `graph` must outlive the model.
+  LightGcnModel(const BipartiteGraph& graph, size_t dim, int num_layers,
+                Rng& rng);
+
+  std::string_view name() const override { return "LightGCN"; }
+  void Forward(Rng& rng) override;
+  void Backward() override;
+  std::vector<ParamGrad> Params() override;
+
+  int num_layers() const { return num_layers_; }
+
+ protected:
+  // Shared helpers for subclasses / siblings with combined node storage.
+  void SplitFinal(const Matrix& combined);
+  void GatherFinalGrad(Matrix& combined) const;
+
+  const BipartiteGraph& graph_;
+  int num_layers_;
+  Matrix base_;        // (U+I) x d parameter table
+  Matrix base_grad_;   // parameter gradients
+  Matrix combined_;    // propagated (U+I) x d final embeddings
+  Matrix scratch_a_;   // propagation work buffers
+  Matrix scratch_b_;
+};
+
+}  // namespace bslrec
+
+#endif  // BSLREC_MODELS_LIGHTGCN_H_

@@ -1,0 +1,32 @@
+// Matrix Factorization backbone (Koren et al., 2009).
+//
+// The simplest embedding model: the final representations *are* the
+// parameters. Used throughout the paper as the primary backbone for the
+// loss-function study.
+#ifndef BSLREC_MODELS_MF_H_
+#define BSLREC_MODELS_MF_H_
+
+#include "models/model.h"
+
+namespace bslrec {
+
+class MfModel : public EmbeddingModel {
+ public:
+  // Xavier-uniform initialization (the paper's unified initializer).
+  MfModel(uint32_t num_users, uint32_t num_items, size_t dim, Rng& rng);
+
+  std::string_view name() const override { return "MF"; }
+  void Forward(Rng& rng) override;
+  void Backward() override;
+  std::vector<ParamGrad> Params() override;
+
+ private:
+  Matrix user_param_;
+  Matrix item_param_;
+  Matrix user_param_grad_;
+  Matrix item_param_grad_;
+};
+
+}  // namespace bslrec
+
+#endif  // BSLREC_MODELS_MF_H_

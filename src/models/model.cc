@@ -1,0 +1,26 @@
+#include "models/model.h"
+
+namespace bslrec {
+
+EmbeddingModel::EmbeddingModel(uint32_t num_users, uint32_t num_items,
+                               size_t dim)
+    : num_users_(num_users),
+      num_items_(num_items),
+      dim_(dim),
+      final_user_(num_users, dim),
+      final_item_(num_items, dim),
+      grad_user_(num_users, dim),
+      grad_item_(num_items, dim) {}
+
+void EmbeddingModel::ZeroGrad() {
+  grad_user_.SetZero();
+  grad_item_.SetZero();
+  for (ParamGrad pg : Params()) pg.grad->SetZero();
+}
+
+double EmbeddingModel::AuxLossAndGrad(std::span<const uint32_t>,
+                                      std::span<const uint32_t>, Rng&) {
+  return 0.0;
+}
+
+}  // namespace bslrec

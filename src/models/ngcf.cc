@@ -1,0 +1,157 @@
+#include "models/ngcf.h"
+
+#include <cstring>
+
+#include "math/check.h"
+
+namespace bslrec {
+
+namespace {
+
+inline float LeakyRelu(float x) {
+  return x > 0.0f ? x : NgcfModel::kLeakySlope * x;
+}
+
+inline float LeakyReluGrad(float pre_activation) {
+  return pre_activation > 0.0f ? 1.0f : NgcfModel::kLeakySlope;
+}
+
+}  // namespace
+
+NgcfModel::NgcfModel(const BipartiteGraph& graph, size_t dim, int num_layers,
+                     Rng& rng)
+    : EmbeddingModel(graph.num_users(), graph.num_items(), dim),
+      graph_(graph),
+      num_layers_(num_layers),
+      base_(graph.num_nodes(), dim),
+      base_grad_(graph.num_nodes(), dim) {
+  BSLREC_CHECK(num_layers >= 1);
+  base_.InitXavierUniform(rng);
+  w1_.reserve(num_layers);
+  w2_.reserve(num_layers);
+  for (int l = 0; l < num_layers; ++l) {
+    w1_.emplace_back(dim, dim);
+    w2_.emplace_back(dim, dim);
+    w1_.back().InitXavierUniform(rng);
+    w2_.back().InitXavierUniform(rng);
+    w1_grad_.emplace_back(dim, dim);
+    w2_grad_.emplace_back(dim, dim);
+  }
+}
+
+void NgcfModel::Forward(Rng&) {
+  const size_t n = graph_.num_nodes();
+  const size_t d = dim_;
+  e_.assign(1, base_);
+  s_.clear();
+  h_.clear();
+  Matrix x1(n, d), x2(n, d);
+  for (int l = 0; l < num_layers_; ++l) {
+    const Matrix& e = e_.back();
+    Matrix s(n, d);
+    graph_.Adjacency().Multiply(e, s);
+    // x1 = e + s; x2 = s ⊙ e.
+    for (size_t k = 0; k < e.size(); ++k) {
+      x1.data()[k] = e.data()[k] + s.data()[k];
+      x2.data()[k] = s.data()[k] * e.data()[k];
+    }
+    Matrix h(n, d);
+    MatMul(x1, w1_[l], h);
+    MatMulAccum(x2, w2_[l], h);
+    Matrix next(n, d);
+    for (size_t k = 0; k < h.size(); ++k) {
+      next.data()[k] = LeakyRelu(h.data()[k]);
+    }
+    s_.push_back(std::move(s));
+    h_.push_back(std::move(h));
+    e_.push_back(std::move(next));
+  }
+  // Readout: mean over layers 0..L.
+  Matrix combined(n, d);
+  for (const Matrix& e : e_) combined.AddScaled(e, 1.0f);
+  const float inv = 1.0f / static_cast<float>(e_.size());
+  for (size_t k = 0; k < combined.size(); ++k) combined.data()[k] *= inv;
+
+  for (uint32_t u = 0; u < num_users_; ++u) {
+    std::memcpy(final_user_.Row(u), combined.Row(u), d * sizeof(float));
+  }
+  for (uint32_t i = 0; i < num_items_; ++i) {
+    std::memcpy(final_item_.Row(i), combined.Row(num_users_ + i),
+                d * sizeof(float));
+  }
+}
+
+void NgcfModel::Backward() {
+  BSLREC_CHECK_MSG(!e_.empty(), "Backward called before Forward");
+  const size_t n = graph_.num_nodes();
+  const size_t d = dim_;
+  const float inv = 1.0f / static_cast<float>(num_layers_ + 1);
+
+  // Gradient w.r.t. the mean readout reaches every layer output equally.
+  Matrix grad_readout(n, d);
+  for (uint32_t u = 0; u < num_users_; ++u) {
+    std::memcpy(grad_readout.Row(u), grad_user_.Row(u), d * sizeof(float));
+  }
+  for (uint32_t i = 0; i < num_items_; ++i) {
+    std::memcpy(grad_readout.Row(num_users_ + i), grad_item_.Row(i),
+                d * sizeof(float));
+  }
+  for (size_t k = 0; k < grad_readout.size(); ++k) {
+    grad_readout.data()[k] *= inv;
+  }
+
+  // d_e[l]: accumulated gradient at E^l. Start with the readout share.
+  std::vector<Matrix> d_e(e_.size());
+  for (size_t l = 0; l < e_.size(); ++l) d_e[l] = grad_readout;
+
+  Matrix dh(n, d), x1(n, d), x2(n, d), dx(n, d), ds(n, d);
+  for (int l = num_layers_ - 1; l >= 0; --l) {
+    const Matrix& e = e_[l];
+    const Matrix& s = s_[l];
+    const Matrix& h = h_[l];
+    // dH = dE^{l+1} ⊙ LeakyReLU'(H).
+    for (size_t k = 0; k < h.size(); ++k) {
+      dh.data()[k] = d_e[l + 1].data()[k] * LeakyReluGrad(h.data()[k]);
+    }
+    // Recompute the cheap forward intermediates x1, x2.
+    for (size_t k = 0; k < e.size(); ++k) {
+      x1.data()[k] = e.data()[k] + s.data()[k];
+      x2.data()[k] = s.data()[k] * e.data()[k];
+    }
+    // Weight grads: dW1 += x1^T dH, dW2 += x2^T dH.
+    Matrix tmp_w(d, d);
+    MatTMul(x1, dh, tmp_w);
+    w1_grad_[l].AddScaled(tmp_w, 1.0f);
+    MatTMul(x2, dh, tmp_w);
+    w2_grad_[l].AddScaled(tmp_w, 1.0f);
+    // dX1 = dH W1^T; dX2 = dH W2^T.
+    dx.SetZero();
+    MatMulTAccum(dh, w1_[l], dx);  // dx = dX1
+    // Self path: dE^l += dX1; neighbor path seeds dS = dX1.
+    d_e[l].AddScaled(dx, 1.0f);
+    ds = dx;
+    dx.SetZero();
+    MatMulTAccum(dh, w2_[l], dx);  // dx = dX2
+    for (size_t k = 0; k < dx.size(); ++k) {
+      // x2 = s ⊙ e: dS += dX2 ⊙ e, dE += dX2 ⊙ s.
+      ds.data()[k] += dx.data()[k] * e.data()[k];
+      d_e[l].data()[k] += dx.data()[k] * s.data()[k];
+    }
+    // S = A_hat E^l, A_hat symmetric: dE^l += A_hat dS.
+    Matrix prop(n, d);
+    graph_.Adjacency().Multiply(ds, prop);
+    d_e[l].AddScaled(prop, 1.0f);
+  }
+  base_grad_.AddScaled(d_e[0], 1.0f);
+}
+
+std::vector<ParamGrad> NgcfModel::Params() {
+  std::vector<ParamGrad> params{{&base_, &base_grad_}};
+  for (int l = 0; l < num_layers_; ++l) {
+    params.push_back({&w1_[l], &w1_grad_[l]});
+    params.push_back({&w2_[l], &w2_grad_[l]});
+  }
+  return params;
+}
+
+}  // namespace bslrec

@@ -1,0 +1,55 @@
+// NGCF backbone (Wang et al., SIGIR 2019).
+//
+// Message passing with per-layer transforms and the bi-interaction term:
+//
+//   E^{l+1} = LeakyReLU( (E^l + A_hat E^l) W1_l + (A_hat E^l ⊙ E^l) W2_l )
+//
+// where ⊙ is element-wise. (The neighbor sum of e_i ⊙ e_u factors into
+// (A_hat E)_u ⊙ e_u, so the bi-interaction costs one propagation plus a
+// Hadamard product.) The final representation is the mean over layers
+// 0..L — the paper's concatenation is replaced by a mean so every
+// backbone shares one embedding width; this is the LightGCN-style readout
+// and does not change which loss wins (DESIGN.md, substitutions).
+// Message dropout is omitted for determinism.
+//
+// Unlike LightGCN the propagation is nonlinear, so Backward runs a true
+// reverse pass over cached layer activations.
+#ifndef BSLREC_MODELS_NGCF_H_
+#define BSLREC_MODELS_NGCF_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "models/model.h"
+
+namespace bslrec {
+
+class NgcfModel : public EmbeddingModel {
+ public:
+  // `graph` must outlive the model.
+  NgcfModel(const BipartiteGraph& graph, size_t dim, int num_layers,
+            Rng& rng);
+
+  std::string_view name() const override { return "NGCF"; }
+  void Forward(Rng& rng) override;
+  void Backward() override;
+  std::vector<ParamGrad> Params() override;
+
+  static constexpr float kLeakySlope = 0.2f;
+
+ private:
+  const BipartiteGraph& graph_;
+  int num_layers_;
+  Matrix base_;
+  Matrix base_grad_;
+  std::vector<Matrix> w1_, w1_grad_;  // per-layer d x d transforms
+  std::vector<Matrix> w2_, w2_grad_;
+  // Forward caches (valid between Forward and Backward).
+  std::vector<Matrix> e_;  // E^0..E^L
+  std::vector<Matrix> s_;  // A_hat E^l per layer
+  std::vector<Matrix> h_;  // pre-activation per layer
+};
+
+}  // namespace bslrec
+
+#endif  // BSLREC_MODELS_NGCF_H_

@@ -1,0 +1,91 @@
+#include "sampling/negative_sampler.h"
+
+#include <cmath>
+
+#include "math/check.h"
+
+namespace bslrec {
+
+namespace {
+
+// Draws one uniform true negative for user u by rejection. The retry
+// bound only trips when a user interacted with nearly the whole catalog,
+// which the dataset builders prevent.
+uint32_t DrawUniformNegative(const Dataset& data, uint32_t u, Rng& rng) {
+  constexpr int kMaxTries = 1000;
+  for (int t = 0; t < kMaxTries; ++t) {
+    const uint32_t i = static_cast<uint32_t>(rng.NextIndex(data.num_items()));
+    if (!data.IsTrainPositive(u, i)) return i;
+  }
+  BSLREC_CHECK_MSG(false, "user %u has (almost) no negatives", u);
+  return 0;  // unreachable
+}
+
+}  // namespace
+
+void UniformNegativeSampler::Sample(uint32_t u, size_t n, Rng& rng,
+                                    std::vector<uint32_t>& out) const {
+  out.clear();
+  out.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    out.push_back(DrawUniformNegative(data_, u, rng));
+  }
+}
+
+PopularityNegativeSampler::PopularityNegativeSampler(const Dataset& data,
+                                                     double beta)
+    : data_(data),
+      table_([&] {
+        std::vector<double> w(data.num_items());
+        for (uint32_t i = 0; i < data.num_items(); ++i) {
+          w[i] = std::pow(static_cast<double>(data.item_popularity()[i]) + 1.0,
+                          beta);
+        }
+        return AliasTable(w);
+      }()) {}
+
+void PopularityNegativeSampler::Sample(uint32_t u, size_t n, Rng& rng,
+                                       std::vector<uint32_t>& out) const {
+  out.clear();
+  out.reserve(n);
+  constexpr int kMaxTries = 1000;
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t i = 0;
+    bool found = false;
+    for (int t = 0; t < kMaxTries; ++t) {
+      i = table_.Sample(rng);
+      if (!data_.IsTrainPositive(u, i)) {
+        found = true;
+        break;
+      }
+    }
+    BSLREC_CHECK_MSG(found, "popularity sampler starved for user %u", u);
+    out.push_back(i);
+  }
+}
+
+NoisyNegativeSampler::NoisyNegativeSampler(const Dataset& data, double r_noise)
+    : data_(data), r_noise_(r_noise) {
+  BSLREC_CHECK(r_noise >= 0.0);
+}
+
+void NoisyNegativeSampler::Sample(uint32_t u, size_t n, Rng& rng,
+                                  std::vector<uint32_t>& out) const {
+  out.clear();
+  out.reserve(n);
+  const auto pos = data_.TrainItems(u);
+  const double n_pos = static_cast<double>(pos.size());
+  const double n_neg = static_cast<double>(data_.num_items()) - n_pos;
+  const double pos_mass = r_noise_ * n_pos;
+  const double p_pos =
+      pos_mass > 0.0 ? pos_mass / (pos_mass + n_neg) : 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (!pos.empty() && rng.NextBernoulli(p_pos)) {
+      out.push_back(pos[rng.NextIndex(pos.size())]);
+    } else {
+      out.push_back(DrawUniformNegative(data_, u, rng));
+    }
+  }
+}
+
+}  // namespace bslrec

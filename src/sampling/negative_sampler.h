@@ -1,0 +1,81 @@
+// Negative sampling strategies (P-_u in the paper).
+//
+// All samplers draw item ids to be treated as negatives for a given user.
+// `UniformNegativeSampler` and `PopularityNegativeSampler` draw true
+// negatives (rejecting the user's train positives). `NoisyNegativeSampler`
+// implements the paper's controlled false-negative protocol (footnote 2,
+// Figs 3 and 8): each *positive* item is given r_noise times the sampling
+// weight of a negative item, so larger r_noise means more positives are
+// mistakenly served as negatives.
+//
+// Samplers keep a reference to the dataset; the dataset must outlive them.
+#ifndef BSLREC_SAMPLING_NEGATIVE_SAMPLER_H_
+#define BSLREC_SAMPLING_NEGATIVE_SAMPLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "math/alias_table.h"
+#include "math/rng.h"
+
+namespace bslrec {
+
+class NegativeSampler {
+ public:
+  virtual ~NegativeSampler() = default;
+
+  // Appends n sampled "negative" item ids for user u to `out` (which is
+  // cleared first). Draws are i.i.d. with replacement, matching standard
+  // recommender training loops.
+  virtual void Sample(uint32_t u, size_t n, Rng& rng,
+                      std::vector<uint32_t>& out) const = 0;
+};
+
+// Uniform over the user's true negatives S-_u.
+class UniformNegativeSampler : public NegativeSampler {
+ public:
+  explicit UniformNegativeSampler(const Dataset& data) : data_(data) {}
+  void Sample(uint32_t u, size_t n, Rng& rng,
+              std::vector<uint32_t>& out) const override;
+
+ private:
+  const Dataset& data_;
+};
+
+// Popularity-weighted over true negatives: weight_i = popularity_i^beta
+// (+1 smoothing so cold items stay reachable). Rejection on positives.
+class PopularityNegativeSampler : public NegativeSampler {
+ public:
+  PopularityNegativeSampler(const Dataset& data, double beta);
+  void Sample(uint32_t u, size_t n, Rng& rng,
+              std::vector<uint32_t>& out) const override;
+
+ private:
+  const Dataset& data_;
+  AliasTable table_;
+};
+
+// False-negative injector. With odds ratio r_noise, a draw lands on the
+// user's positive set with probability
+//     r_noise * |S+_u| / (r_noise * |S+_u| + |S-_u|),
+// i.e. every positive item has r_noise times the weight of a negative
+// item; within each side the draw is uniform. r_noise = 0 reduces to
+// UniformNegativeSampler.
+class NoisyNegativeSampler : public NegativeSampler {
+ public:
+  NoisyNegativeSampler(const Dataset& data, double r_noise);
+  void Sample(uint32_t u, size_t n, Rng& rng,
+              std::vector<uint32_t>& out) const override;
+
+  double r_noise() const { return r_noise_; }
+
+ private:
+  const Dataset& data_;
+  double r_noise_;
+};
+
+}  // namespace bslrec
+
+#endif  // BSLREC_SAMPLING_NEGATIVE_SAMPLER_H_

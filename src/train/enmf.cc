@@ -1,0 +1,88 @@
+#include "train/enmf.h"
+
+#include <vector>
+
+#include "math/check.h"
+#include "math/vec.h"
+
+namespace bslrec {
+
+EnmfTrainer::EnmfTrainer(const Dataset& data, MfModel& model,
+                         const EnmfConfig& config)
+    : data_(data),
+      model_(model),
+      config_(config),
+      evaluator_(data, config.metric_k),
+      optimizer_(config.lr, config.weight_decay),
+      rng_(config.seed) {
+  BSLREC_CHECK(config.epochs >= 0);
+  BSLREC_CHECK(config.negative_weight >= 0.0);
+}
+
+double EnmfTrainer::RunEpoch() {
+  const size_t d = model_.dim();
+  model_.Forward(rng_);
+  model_.ZeroGrad();
+
+  // Normalize all item embeddings once per epoch (full-batch pass).
+  Matrix item_hat(data_.num_items(), d);
+  std::vector<float> item_norm(data_.num_items());
+  for (uint32_t i = 0; i < data_.num_items(); ++i) {
+    item_norm[i] = vec::Normalize(model_.ItemEmb(i), item_hat.Row(i), d);
+  }
+
+  std::vector<float> u_hat(d);
+  double total_loss = 0.0;
+  const float inv_users = 1.0f / static_cast<float>(data_.num_users());
+  for (uint32_t u = 0; u < data_.num_users(); ++u) {
+    const float u_norm = vec::Normalize(model_.UserEmb(u), u_hat.data(), d);
+    const auto pos = data_.TrainItems(u);
+    size_t pos_idx = 0;
+    for (uint32_t i = 0; i < data_.num_items(); ++i) {
+      const bool is_pos = pos_idx < pos.size() && pos[pos_idx] == i;
+      if (is_pos) ++pos_idx;
+      const float score = vec::Dot(u_hat.data(), item_hat.Row(i), d);
+      // Residual and weight per ENMF's objective.
+      const double target = is_pos ? 1.0 : 0.0;
+      const double weight = is_pos ? 1.0 : config_.negative_weight;
+      const double residual = score - target;
+      total_loss += weight * residual * residual;
+      const float g = static_cast<float>(2.0 * weight * residual) * inv_users;
+      if (g == 0.0f) continue;
+      vec::AccumulateCosineGrad(u_hat.data(), item_hat.Row(i), score, u_norm,
+                                g, model_.UserGrad(u), d);
+      vec::AccumulateCosineGrad(item_hat.Row(i), u_hat.data(), score,
+                                item_norm[i], g, model_.ItemGrad(i), d);
+    }
+  }
+  model_.Backward();
+  optimizer_.Step(model_.Params());
+  return total_loss / static_cast<double>(data_.num_users());
+}
+
+TrainResult EnmfTrainer::Train() {
+  TrainResult result;
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.avg_loss = RunEpoch();
+    result.history.push_back(stats);
+    if (epoch % config_.eval_every == 0 || epoch == config_.epochs) {
+      model_.Forward(rng_);
+      const TopKMetrics m = evaluator_.Evaluate(model_);
+      result.final_metrics = m;
+      if (m.ndcg > result.best.ndcg) {
+        result.best = m;
+        result.best_epoch = epoch;
+      }
+    }
+  }
+  if (result.best.num_users == 0) {
+    model_.Forward(rng_);
+    result.best = evaluator_.Evaluate(model_);
+    result.final_metrics = result.best;
+  }
+  return result;
+}
+
+}  // namespace bslrec

@@ -1,0 +1,52 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+#include "math/check.h"
+
+namespace bslrec {
+
+void SgdOptimizer::Step(const std::vector<ParamGrad>& params) {
+  for (const ParamGrad& pg : params) {
+    BSLREC_CHECK(pg.value != nullptr && pg.grad != nullptr);
+    BSLREC_CHECK(pg.value->size() == pg.grad->size());
+    float* w = pg.value->data();
+    const float* g = pg.grad->data();
+    const float lr = static_cast<float>(lr_);
+    const float wd = static_cast<float>(weight_decay_);
+    for (size_t k = 0; k < pg.value->size(); ++k) {
+      w[k] -= lr * (g[k] + wd * w[k]);
+    }
+  }
+}
+
+void AdamOptimizer::Step(const std::vector<ParamGrad>& params) {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (const ParamGrad& pg : params) {
+    BSLREC_CHECK(pg.value != nullptr && pg.grad != nullptr);
+    BSLREC_CHECK(pg.value->size() == pg.grad->size());
+    Slot& slot = slots_[pg.value];
+    if (slot.m.size() != pg.value->size()) {
+      slot.m = Matrix(pg.value->rows(), pg.value->cols());
+      slot.v = Matrix(pg.value->rows(), pg.value->cols());
+    }
+    float* w = pg.value->data();
+    const float* g = pg.grad->data();
+    float* m = slot.m.data();
+    float* v = slot.v.data();
+    for (size_t k = 0; k < pg.value->size(); ++k) {
+      m[k] = static_cast<float>(beta1_ * m[k] + (1.0 - beta1_) * g[k]);
+      v[k] = static_cast<float>(beta2_ * v[k] +
+                                (1.0 - beta2_) * static_cast<double>(g[k]) *
+                                    g[k]);
+      const double m_hat = m[k] / bc1;
+      const double v_hat = v[k] / bc2;
+      w[k] -= static_cast<float>(
+          lr_ * (m_hat / (std::sqrt(v_hat) + eps_) + weight_decay_ * w[k]));
+    }
+  }
+}
+
+}  // namespace bslrec

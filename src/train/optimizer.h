@@ -1,0 +1,65 @@
+// First-order optimizers over ParamGrad lists.
+//
+// Adam follows Kingma & Ba with bias correction; weight decay is applied
+// decoupled (AdamW-style), which matches how the paper's L2 coefficient
+// acts on embedding tables. Optimizer state is keyed by the parameter
+// matrix address, so the same optimizer instance can drive any model as
+// long as its parameter set is stable across steps.
+#ifndef BSLREC_TRAIN_OPTIMIZER_H_
+#define BSLREC_TRAIN_OPTIMIZER_H_
+
+#include <map>
+#include <vector>
+
+#include "math/matrix.h"
+#include "models/model.h"
+
+namespace bslrec {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the gradients currently stored in `params`.
+  virtual void Step(const std::vector<ParamGrad>& params) = 0;
+};
+
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(double lr, double weight_decay = 0.0)
+      : lr_(lr), weight_decay_(weight_decay) {}
+  void Step(const std::vector<ParamGrad>& params) override;
+
+ private:
+  double lr_;
+  double weight_decay_;
+};
+
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(double lr, double weight_decay = 0.0, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8)
+      : lr_(lr),
+        weight_decay_(weight_decay),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps) {}
+  void Step(const std::vector<ParamGrad>& params) override;
+
+ private:
+  struct Slot {
+    Matrix m;  // first-moment estimate
+    Matrix v;  // second-moment estimate
+  };
+  double lr_;
+  double weight_decay_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  long step_ = 0;
+  std::map<const Matrix*, Slot> slots_;
+};
+
+}  // namespace bslrec
+
+#endif  // BSLREC_TRAIN_OPTIMIZER_H_

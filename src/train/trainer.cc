@@ -1,0 +1,254 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/check.h"
+#include "math/vec.h"
+
+namespace bslrec {
+
+Trainer::Trainer(const Dataset& data, EmbeddingModel& model,
+                 const LossFunction& loss, const NegativeSampler& sampler,
+                 const TrainConfig& config)
+    : data_(data),
+      model_(model),
+      loss_(loss),
+      sampler_(sampler),
+      config_(config),
+      evaluator_(data, config.metric_k),
+      rng_(config.seed) {
+  BSLREC_CHECK(config.epochs >= 0);
+  BSLREC_CHECK(config.batch_size > 0 && config.num_negatives > 0);
+  BSLREC_CHECK(config.eval_every >= 1);
+  if (config.use_adam) {
+    optimizer_ =
+        std::make_unique<AdamOptimizer>(config.lr, config.weight_decay);
+  } else {
+    optimizer_ =
+        std::make_unique<SgdOptimizer>(config.lr, config.weight_decay);
+  }
+}
+
+double Trainer::AccumulateSampledLoss(const std::vector<Edge>& edges,
+                                      size_t begin, size_t end) {
+  const size_t d = model_.dim();
+  const size_t n_neg = config_.num_negatives;
+  const float inv_batch = 1.0f / static_cast<float>(end - begin);
+
+  std::vector<float> u_hat(d), i_hat(d);
+  Matrix j_hat(n_neg, d);
+  std::vector<float> j_norm(n_neg);
+  std::vector<float> neg_scores(n_neg), d_neg(n_neg);
+  std::vector<uint32_t> negs;
+
+  double loss_sum = 0.0;
+  for (size_t s = begin; s < end; ++s) {
+    const uint32_t u = edges[s].user;
+    const uint32_t i = edges[s].item;
+    sampler_.Sample(u, n_neg, rng_, negs);
+
+    const float u_norm = vec::Normalize(model_.UserEmb(u), u_hat.data(), d);
+    const float i_norm = vec::Normalize(model_.ItemEmb(i), i_hat.data(), d);
+    const float pos_score = vec::Dot(u_hat.data(), i_hat.data(), d);
+    for (size_t j = 0; j < n_neg; ++j) {
+      j_norm[j] = vec::Normalize(model_.ItemEmb(negs[j]), j_hat.Row(j), d);
+      neg_scores[j] = vec::Dot(u_hat.data(), j_hat.Row(j), d);
+    }
+
+    float d_pos = 0.0f;
+    loss_sum += loss_.Compute(pos_score, neg_scores, &d_pos,
+                              {d_neg.data(), n_neg});
+
+    // Chain rule through the cosine head (mean reduction over the batch).
+    const float d_pos_scaled = d_pos * inv_batch;
+    vec::AccumulateCosineGrad(u_hat.data(), i_hat.data(), pos_score, u_norm,
+                              d_pos_scaled, model_.UserGrad(u), d);
+    vec::AccumulateCosineGrad(i_hat.data(), u_hat.data(), pos_score, i_norm,
+                              d_pos_scaled, model_.ItemGrad(i), d);
+    for (size_t j = 0; j < n_neg; ++j) {
+      const float g = d_neg[j] * inv_batch;
+      if (g == 0.0f) continue;
+      vec::AccumulateCosineGrad(u_hat.data(), j_hat.Row(j), neg_scores[j],
+                                u_norm, g, model_.UserGrad(u), d);
+      vec::AccumulateCosineGrad(j_hat.Row(j), u_hat.data(), neg_scores[j],
+                                j_norm[j], g, model_.ItemGrad(negs[j]), d);
+    }
+  }
+  return loss_sum;
+}
+
+double Trainer::AccumulateInBatchLoss(const std::vector<Edge>& edges,
+                                      size_t begin, size_t end) {
+  const size_t d = model_.dim();
+  const size_t b = end - begin;
+  if (b < 2) return 0.0;  // no in-batch negatives available
+  const float inv_batch = 1.0f / static_cast<float>(b);
+
+  // Normalize every sample's user and item embedding once (Algorithm 2
+  // computes the full pairwise similarity matrix).
+  Matrix u_hat(b, d), i_hat(b, d);
+  std::vector<float> u_norm(b), i_norm(b);
+  for (size_t s = 0; s < b; ++s) {
+    u_norm[s] = vec::Normalize(model_.UserEmb(edges[begin + s].user),
+                               u_hat.Row(s), d);
+    i_norm[s] = vec::Normalize(model_.ItemEmb(edges[begin + s].item),
+                               i_hat.Row(s), d);
+  }
+
+  // Optional sampled-softmax logQ correction: in-batch negatives appear
+  // with probability proportional to popularity; subtracting
+  // tau*log q(item) from their scores de-biases the softmax. The shift
+  // is a data constant, so the gradient chain is unchanged.
+  std::vector<float> logq_shift(b, 0.0f);
+  if (config_.inbatch_logq_tau > 0.0) {
+    const double total =
+        static_cast<double>(data_.num_train()) + data_.num_items();
+    for (size_t t = 0; t < b; ++t) {
+      const double q =
+          (static_cast<double>(
+               data_.item_popularity()[edges[begin + t].item]) +
+           1.0) /
+          total;
+      logq_shift[t] =
+          static_cast<float>(config_.inbatch_logq_tau * std::log(q));
+    }
+  }
+
+  std::vector<float> neg_scores(b - 1), d_neg(b - 1);
+  double loss_sum = 0.0;
+  for (size_t s = 0; s < b; ++s) {
+    const uint32_t u = edges[begin + s].user;
+    const uint32_t i = edges[begin + s].item;
+    const float pos_score = vec::Dot(u_hat.Row(s), i_hat.Row(s), d);
+    // Other samples' positives are this sample's negatives (diagonal
+    // masked, duplicates kept — see SamplingMode docs).
+    size_t idx = 0;
+    for (size_t t = 0; t < b; ++t) {
+      if (t == s) continue;
+      neg_scores[idx++] =
+          vec::Dot(u_hat.Row(s), i_hat.Row(t), d) - logq_shift[t];
+    }
+    float d_pos = 0.0f;
+    loss_sum += loss_.Compute(pos_score, neg_scores, &d_pos,
+                              {d_neg.data(), b - 1});
+
+    const float d_pos_scaled = d_pos * inv_batch;
+    vec::AccumulateCosineGrad(u_hat.Row(s), i_hat.Row(s), pos_score,
+                              u_norm[s], d_pos_scaled, model_.UserGrad(u), d);
+    vec::AccumulateCosineGrad(i_hat.Row(s), u_hat.Row(s), pos_score,
+                              i_norm[s], d_pos_scaled, model_.ItemGrad(i), d);
+    idx = 0;
+    for (size_t t = 0; t < b; ++t) {
+      if (t == s) continue;
+      const float g = d_neg[idx] * inv_batch;
+      // Undo the logQ shift: the cosine chain rule needs the raw score.
+      const float score = neg_scores[idx] + logq_shift[t];
+      ++idx;
+      if (g == 0.0f) continue;
+      vec::AccumulateCosineGrad(u_hat.Row(s), i_hat.Row(t), score, u_norm[s],
+                                g, model_.UserGrad(u), d);
+      vec::AccumulateCosineGrad(i_hat.Row(t), u_hat.Row(s), score, i_norm[t],
+                                g, model_.ItemGrad(edges[begin + t].item), d);
+    }
+  }
+  return loss_sum;
+}
+
+std::pair<double, double> Trainer::RunBatch(const std::vector<Edge>& edges,
+                                            size_t begin, size_t end) {
+  model_.Forward(rng_);
+  model_.ZeroGrad();
+
+  const double loss_sum =
+      config_.sampling_mode == SamplingMode::kInBatch
+          ? AccumulateInBatchLoss(edges, begin, end)
+          : AccumulateSampledLoss(edges, begin, end);
+
+  // Contrastive regularizer on the batch's distinct nodes.
+  std::vector<uint32_t> batch_users, batch_items;
+  batch_users.reserve(end - begin);
+  batch_items.reserve(end - begin);
+  for (size_t s = begin; s < end; ++s) {
+    batch_users.push_back(edges[s].user);
+    batch_items.push_back(edges[s].item);
+  }
+  std::sort(batch_users.begin(), batch_users.end());
+  batch_users.erase(std::unique(batch_users.begin(), batch_users.end()),
+                    batch_users.end());
+  std::sort(batch_items.begin(), batch_items.end());
+  batch_items.erase(std::unique(batch_items.begin(), batch_items.end()),
+                    batch_items.end());
+  const double aux = model_.AuxLossAndGrad(batch_users, batch_items, rng_);
+
+  model_.Backward();
+  optimizer_->Step(model_.Params());
+  return {loss_sum, aux};
+}
+
+EpochStats Trainer::RunEpoch(int epoch_index) {
+  std::vector<Edge> edges = data_.train_edges();
+  BSLREC_CHECK_MSG(!edges.empty(), "empty training split");
+  rng_.Shuffle(edges);
+
+  EpochStats stats;
+  stats.epoch = epoch_index;
+  double loss_sum = 0.0;
+  double aux_sum = 0.0;
+  size_t num_batches = 0;
+  for (size_t begin = 0; begin < edges.size();
+       begin += config_.batch_size) {
+    const size_t end = std::min(edges.size(), begin + config_.batch_size);
+    const auto [loss, aux] = RunBatch(edges, begin, end);
+    loss_sum += loss;
+    aux_sum += aux;
+    ++num_batches;
+  }
+  stats.avg_loss = loss_sum / static_cast<double>(edges.size());
+  stats.avg_aux_loss =
+      num_batches > 0 ? aux_sum / static_cast<double>(num_batches) : 0.0;
+  return stats;
+}
+
+TopKMetrics Trainer::Evaluate() const {
+  // Refresh the final embeddings from the current parameters. The main
+  // propagation path is deterministic for every backbone, so the const
+  // cast only re-runs a pure function of the parameters.
+  Rng eval_rng(config_.seed ^ 0xE7A15A17ULL);
+  const_cast<EmbeddingModel&>(
+      static_cast<const EmbeddingModel&>(model_))
+      .Forward(eval_rng);
+  return evaluator_.Evaluate(model_);
+}
+
+TrainResult Trainer::Train() {
+  TrainResult result;
+  int evals_without_improvement = 0;
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    result.history.push_back(RunEpoch(epoch));
+    const bool last_epoch = epoch == config_.epochs;
+    if (epoch % config_.eval_every == 0 || last_epoch) {
+      const TopKMetrics m = Evaluate();
+      result.final_metrics = m;
+      if (m.ndcg > result.best.ndcg) {
+        result.best = m;
+        result.best_epoch = epoch;
+        evals_without_improvement = 0;
+      } else {
+        ++evals_without_improvement;
+        if (config_.early_stop_patience > 0 &&
+            evals_without_improvement >= config_.early_stop_patience) {
+          break;
+        }
+      }
+    }
+  }
+  if (result.best.num_users == 0) {
+    // epochs == 0 or no eval ran: report the untrained model.
+    result.best = Evaluate();
+    result.final_metrics = result.best;
+  }
+  return result;
+}
+
+}  // namespace bslrec

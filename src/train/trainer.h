@@ -1,0 +1,117 @@
+// Mini-batch training loop.
+//
+// One training sample is one observed edge (u, i+) plus N- negatives from
+// the configured sampler (paper Algorithm 1). Per batch the trainer:
+//   1. re-propagates the model (Forward),
+//   2. scores samples with cosine similarity of the final embeddings,
+//   3. applies the loss to get dL/dscore,
+//   4. chain-rules through the cosine into final-embedding gradients,
+//   5. adds contrastive aux gradients (SGL/SimGCL/LightGCL),
+//   6. backpropagates into parameters and steps the optimizer.
+//
+// Evaluation runs every `eval_every` epochs on the held-out test split;
+// the best checkpoint metrics (by NDCG) are reported, emulating the
+// paper's early-stopping/grid protocol without storing weights.
+#ifndef BSLREC_TRAIN_TRAINER_H_
+#define BSLREC_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/losses.h"
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+#include "models/model.h"
+#include "sampling/negative_sampler.h"
+#include "train/optimizer.h"
+
+namespace bslrec {
+
+// How negatives are obtained for each (user, positive) sample:
+//  * kSampledNegatives — N- draws from the configured sampler
+//    (paper Algorithm 1, used for MF).
+//  * kInBatch — the other samples' positive items in the mini-batch act
+//    as negatives with only the diagonal masked (paper Algorithm 2,
+//    used for NGCF/LightGCN). Duplicate items inside a batch therefore
+//    occasionally serve as false negatives, exactly as in the paper —
+//    the robustness the softmax family provides covers this.
+enum class SamplingMode { kSampledNegatives, kInBatch };
+
+struct TrainConfig {
+  int epochs = 30;
+  size_t batch_size = 1024;
+  SamplingMode sampling_mode = SamplingMode::kSampledNegatives;
+  size_t num_negatives = 64;  // ignored in kInBatch mode
+  // In-batch negatives are drawn proportionally to item popularity, which
+  // biases the sampled softmax (Bengio & Senecal, 2003 — the paper's
+  // reference [12]). Setting this to the softmax temperature applies the
+  // standard logQ correction, subtracting tau*log q(item) from each
+  // in-batch negative score before the loss sees it. 0 disables the
+  // correction; leave 0 for non-softmax losses.
+  double inbatch_logq_tau = 0.0;
+  double lr = 0.05;
+  double weight_decay = 1e-6;
+  bool use_adam = true;
+  int eval_every = 5;           // epochs between evaluations (>=1)
+  uint32_t metric_k = 20;       // Recall@K / NDCG@K cutoff
+  int early_stop_patience = 0;  // consecutive non-improving evals; 0 = off
+  uint64_t seed = 123;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double avg_loss = 0.0;      // mean recommendation loss per sample
+  double avg_aux_loss = 0.0;  // mean contrastive aux loss per batch
+};
+
+struct TrainResult {
+  TopKMetrics best;    // best eval by NDCG
+  int best_epoch = 0;
+  TopKMetrics final_metrics;  // metrics at the last executed eval
+  std::vector<EpochStats> history;
+};
+
+class Trainer {
+ public:
+  // All referenced objects must outlive the trainer.
+  Trainer(const Dataset& data, EmbeddingModel& model,
+          const LossFunction& loss, const NegativeSampler& sampler,
+          const TrainConfig& config);
+
+  // Runs the configured number of epochs with periodic evaluation.
+  TrainResult Train();
+
+  // Runs a single epoch; returns its stats. Exposed for custom loops
+  // (benches that need per-epoch probes).
+  EpochStats RunEpoch(int epoch_index);
+
+  // Evaluates the current model on the test split.
+  TopKMetrics Evaluate() const;
+
+  Rng& rng() { return rng_; }
+
+ private:
+  // Processes one batch of edges [begin, end); returns (sum loss, aux).
+  std::pair<double, double> RunBatch(const std::vector<Edge>& edges,
+                                     size_t begin, size_t end);
+  // Sampled-negatives (Algorithm 1) and in-batch (Algorithm 2) loss
+  // accumulation over the final embeddings; both only write into the
+  // model's final-embedding gradient buffers.
+  double AccumulateSampledLoss(const std::vector<Edge>& edges, size_t begin,
+                               size_t end);
+  double AccumulateInBatchLoss(const std::vector<Edge>& edges, size_t begin,
+                               size_t end);
+
+  const Dataset& data_;
+  EmbeddingModel& model_;
+  const LossFunction& loss_;
+  const NegativeSampler& sampler_;
+  TrainConfig config_;
+  Evaluator evaluator_;
+  std::unique_ptr<Optimizer> optimizer_;
+  Rng rng_;
+};
+
+}  // namespace bslrec
+
+#endif  // BSLREC_TRAIN_TRAINER_H_

@@ -1,0 +1,88 @@
+#include "math/alias_table.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "math/rng.h"
+
+namespace bslrec {
+namespace {
+
+TEST(AliasTable, NormalizedProbabilities) {
+  AliasTable t(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_NEAR(t.Probability(0), 0.1, 1e-12);
+  EXPECT_NEAR(t.Probability(3), 0.4, 1e-12);
+  double sum = 0.0;
+  for (uint32_t i = 0; i < 4; ++i) sum += t.Probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(AliasTable, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> w = {5.0, 1.0, 0.0, 4.0};
+  AliasTable t(w);
+  Rng rng(123);
+  std::vector<int> counts(4, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[t.Sample(rng)];
+  EXPECT_EQ(counts[2], 0);  // zero-weight bucket never drawn
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws), 0.4, 0.01);
+}
+
+TEST(AliasTable, SingleBucket) {
+  AliasTable t(std::vector<double>{3.0});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(t.Sample(rng), 0u);
+}
+
+TEST(AliasTable, UniformWeights) {
+  AliasTable t(std::vector<double>(8, 1.0));
+  Rng rng(2);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) ++counts[t.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 450);
+}
+
+TEST(AliasTable, HighlySkewedWeights) {
+  std::vector<double> w(100, 1e-6);
+  w[42] = 1.0;
+  AliasTable t(w);
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += t.Sample(rng) == 42 ? 1 : 0;
+  EXPECT_GT(hits, 9900);
+}
+
+TEST(ZipfWeights, ShapeAndMonotonicity) {
+  const auto w = ZipfWeights(10, 1.0);
+  ASSERT_EQ(w.size(), 10u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_NEAR(w[1], 0.5, 1e-12);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(ZipfWeights, AlphaZeroIsUniform) {
+  const auto w = ZipfWeights(5, 0.0);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(ZipfWeights, LargerAlphaIsMoreSkewed) {
+  const auto w1 = ZipfWeights(100, 0.8);
+  const auto w2 = ZipfWeights(100, 1.5);
+  // Head mass fraction grows with alpha.
+  const auto head_fraction = [](const std::vector<double>& w) {
+    double head = 0.0, total = 0.0;
+    for (size_t i = 0; i < w.size(); ++i) {
+      total += w[i];
+      if (i < 10) head += w[i];
+    }
+    return head / total;
+  };
+  EXPECT_LT(head_fraction(w1), head_fraction(w2));
+}
+
+}  // namespace
+}  // namespace bslrec

@@ -1,0 +1,114 @@
+#include "models/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "gtest/gtest.h"
+#include "models/lightgcn.h"
+#include "models/mf.h"
+#include "test_util.h"
+
+namespace bslrec {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/bslrec_ckpt.bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, RoundTripRestoresMfParameters) {
+  Rng rng(1);
+  MfModel original(5, 7, 4, rng);
+  ASSERT_TRUE(SaveModelParams(original, path_));
+
+  Rng rng2(999);  // different init
+  MfModel restored(5, 7, 4, rng2);
+  ASSERT_TRUE(LoadModelParams(restored, path_));
+  const auto a = original.Params();
+  const auto b = restored.Params();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t p = 0; p < a.size(); ++p) {
+    for (size_t k = 0; k < a[p].value->size(); ++k) {
+      EXPECT_FLOAT_EQ(a[p].value->data()[k], b[p].value->data()[k]);
+    }
+  }
+}
+
+TEST_F(CheckpointTest, RoundTripRestoresScores) {
+  const Dataset d = testing::TinyDataset();
+  const BipartiteGraph g(d);
+  Rng rng(2);
+  LightGcnModel original(g, 6, 2, rng);
+  original.Forward(rng);
+  ASSERT_TRUE(SaveModelParams(original, path_));
+
+  Rng rng2(3);
+  LightGcnModel restored(g, 6, 2, rng2);
+  ASSERT_TRUE(LoadModelParams(restored, path_));
+  restored.Forward(rng2);
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    for (size_t k = 0; k < 6; ++k) {
+      EXPECT_FLOAT_EQ(original.UserEmb(u)[k], restored.UserEmb(u)[k]);
+    }
+  }
+}
+
+TEST_F(CheckpointTest, ShapeMismatchRejected) {
+  Rng rng(4);
+  MfModel small(3, 3, 4, rng);
+  ASSERT_TRUE(SaveModelParams(small, path_));
+  MfModel bigger(3, 3, 8, rng);
+  EXPECT_FALSE(LoadModelParams(bigger, path_));
+}
+
+TEST_F(CheckpointTest, ParamCountMismatchRejected) {
+  const Dataset d = testing::TinyDataset();
+  const BipartiteGraph g(d);
+  Rng rng(5);
+  MfModel mf(d.num_users(), d.num_items(), 4, rng);  // 2 tensors
+  ASSERT_TRUE(SaveModelParams(mf, path_));
+  LightGcnModel lgn(g, 4, 2, rng);  // 1 tensor
+  EXPECT_FALSE(LoadModelParams(lgn, path_));
+}
+
+TEST_F(CheckpointTest, MissingFileRejected) {
+  Rng rng(6);
+  MfModel mf(2, 2, 2, rng);
+  EXPECT_FALSE(LoadModelParams(mf, "/nonexistent/ckpt.bin"));
+}
+
+TEST_F(CheckpointTest, CorruptMagicRejected) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "NOTACKPT garbage";
+  }
+  Rng rng(7);
+  MfModel mf(2, 2, 2, rng);
+  EXPECT_FALSE(LoadModelParams(mf, path_));
+}
+
+TEST_F(CheckpointTest, TruncatedFileRejected) {
+  Rng rng(8);
+  MfModel mf(20, 20, 8, rng);
+  ASSERT_TRUE(SaveModelParams(mf, path_));
+  // Truncate to half.
+  std::ifstream in(path_, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() / 2));
+  out.close();
+  EXPECT_FALSE(LoadModelParams(mf, path_));
+}
+
+}  // namespace
+}  // namespace bslrec

@@ -1,0 +1,120 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace bslrec {
+namespace {
+
+TEST(Dataset, BasicShape) {
+  const Dataset d = testing::TinyDataset();
+  EXPECT_EQ(d.num_users(), 4u);
+  EXPECT_EQ(d.num_items(), 6u);
+  EXPECT_EQ(d.num_train(), 8u);
+  EXPECT_EQ(d.num_test(), 4u);
+  EXPECT_NEAR(d.TrainDensity(), 8.0 / 24.0, 1e-12);
+}
+
+TEST(Dataset, TrainItemsSortedPerUser) {
+  const Dataset d = testing::TinyDataset();
+  const auto items = d.TrainItems(3);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], 0u);
+  EXPECT_EQ(items[1], 5u);
+  EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+}
+
+TEST(Dataset, TestItemsPerUser) {
+  const Dataset d = testing::TinyDataset();
+  ASSERT_EQ(d.TestItems(1).size(), 1u);
+  EXPECT_EQ(d.TestItems(1)[0], 4u);
+}
+
+TEST(Dataset, IsTrainPositive) {
+  const Dataset d = testing::TinyDataset();
+  EXPECT_TRUE(d.IsTrainPositive(0, 0));
+  EXPECT_TRUE(d.IsTrainPositive(0, 1));
+  EXPECT_FALSE(d.IsTrainPositive(0, 2));  // test item, not train
+  EXPECT_FALSE(d.IsTrainPositive(1, 0));
+}
+
+TEST(Dataset, DeduplicatesEdges) {
+  std::vector<Edge> train = {{0, 1}, {0, 1}, {0, 1}, {1, 0}};
+  const Dataset d(2, 2, std::move(train), {});
+  EXPECT_EQ(d.num_train(), 2u);
+  EXPECT_EQ(d.TrainItems(0).size(), 1u);
+}
+
+TEST(Dataset, ItemPopularityCountsTrainOnly) {
+  const Dataset d = testing::TinyDataset();
+  const auto& pop = d.item_popularity();
+  ASSERT_EQ(pop.size(), 6u);
+  EXPECT_EQ(pop[0], 2u);  // u0 and u3
+  EXPECT_EQ(pop[5], 2u);  // u2 and u3
+  EXPECT_EQ(pop[1], 1u);
+  uint32_t total = 0;
+  for (uint32_t p : pop) total += p;
+  EXPECT_EQ(total, d.num_train());
+}
+
+TEST(Dataset, PopularityGroupsOrderedByPopularity) {
+  // Items with popularity 0 must land in lower group ids than popular ones.
+  std::vector<Edge> train;
+  for (uint32_t u = 0; u < 10; ++u) train.push_back({u, 9});  // item 9 hot
+  for (uint32_t u = 0; u < 5; ++u) train.push_back({u, 8});
+  train.push_back({0, 7});
+  const Dataset d(10, 10, std::move(train), {});
+  const auto groups = d.PopularityGroups(5);
+  ASSERT_EQ(groups.size(), 10u);
+  EXPECT_EQ(groups[9], 4u);                 // most popular -> top group
+  EXPECT_GT(groups[8], groups[7]);          // 5 interactions > 1
+  EXPECT_LT(groups[0], groups[7]);          // zero-interaction items lowest
+  for (uint32_t g : groups) EXPECT_LT(g, 5u);
+}
+
+TEST(Dataset, PopularityGroupsBalancedSizes) {
+  std::vector<Edge> train;
+  for (uint32_t i = 0; i < 100; ++i) {
+    for (uint32_t u = 0; u <= i % 7; ++u) train.push_back({u, i});
+  }
+  const Dataset d(7, 100, std::move(train), {});
+  const auto groups = d.PopularityGroups(10);
+  std::vector<int> sizes(10, 0);
+  for (uint32_t g : groups) ++sizes[g];
+  for (int s : sizes) EXPECT_EQ(s, 10);
+}
+
+TEST(Dataset, TestUsersOnlyThoseWithTestItems) {
+  std::vector<Edge> train = {{0, 0}, {1, 0}, {2, 0}};
+  std::vector<Edge> test = {{0, 1}, {2, 1}};
+  const Dataset d(3, 2, std::move(train), std::move(test));
+  const auto users = d.TestUsers();
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0], 0u);
+  EXPECT_EQ(users[1], 2u);
+}
+
+TEST(Dataset, TrainEdgesMatchCsr) {
+  const Dataset d = testing::TinyDataset();
+  size_t csr_total = 0;
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    csr_total += d.TrainItems(u).size();
+  }
+  EXPECT_EQ(csr_total, d.train_edges().size());
+  for (const Edge& e : d.train_edges()) {
+    EXPECT_TRUE(d.IsTrainPositive(e.user, e.item));
+  }
+}
+
+TEST(Dataset, EmptyTestSplitAllowed) {
+  const Dataset d(2, 2, {{0, 0}}, {});
+  EXPECT_EQ(d.num_test(), 0u);
+  EXPECT_TRUE(d.TestUsers().empty());
+  EXPECT_TRUE(d.TestItems(0).empty());
+}
+
+}  // namespace
+}  // namespace bslrec

@@ -1,0 +1,212 @@
+// Numerical verification of the paper's theory (Section III):
+//   Lemma 1       : SL negative part == KL-constrained DRO optimum.
+//   Lemma 2       : second-order variance expansion of the objective.
+//   Corollary III.1: tau* ~= sqrt(V / 2 eta).
+#include "core/dro.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "math/rng.h"
+#include "math/stats.h"
+#include "test_util.h"
+
+namespace bslrec {
+namespace {
+
+using ::bslrec::testing::RandomScores;
+
+TEST(WorstCaseWeights, IsValidDistribution) {
+  Rng rng(1);
+  const auto scores = RandomScores(50, rng);
+  const auto w = dro::WorstCaseWeights(scores, 0.1);
+  ASSERT_EQ(w.size(), scores.size());
+  double sum = 0.0;
+  for (double x : w) {
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(WorstCaseWeights, MonotoneInScore) {
+  const std::vector<float> scores = {-0.5f, 0.0f, 0.5f, 0.9f};
+  const auto w = dro::WorstCaseWeights(scores, 0.2);
+  for (size_t j = 1; j < w.size(); ++j) EXPECT_GT(w[j], w[j - 1]);
+}
+
+TEST(WorstCaseWeights, LargeTauApproachesUniform) {
+  Rng rng(2);
+  const auto scores = RandomScores(20, rng);
+  const auto w = dro::WorstCaseWeights(scores, 1e6);
+  for (double x : w) EXPECT_NEAR(x, 1.0 / 20.0, 1e-5);
+}
+
+TEST(WorstCaseWeights, SmallTauConcentratesOnHardest) {
+  const std::vector<float> scores = {0.1f, 0.9f, -0.3f};
+  const auto w = dro::WorstCaseWeights(scores, 0.01);
+  EXPECT_GT(w[1], 0.999);
+}
+
+TEST(EmpiricalEta, ZeroForConstantScores) {
+  const std::vector<float> scores(10, 0.3f);
+  EXPECT_NEAR(dro::EmpiricalEta(scores, 0.1), 0.0, 1e-9);
+}
+
+TEST(EmpiricalEta, DecreasesInTau) {
+  Rng rng(3);
+  const auto scores = RandomScores(100, rng);
+  double prev = dro::EmpiricalEta(scores, 0.02);
+  for (double tau : {0.05, 0.1, 0.2, 0.5, 1.0}) {
+    const double eta = dro::EmpiricalEta(scores, tau);
+    EXPECT_LT(eta, prev);
+    prev = eta;
+  }
+}
+
+TEST(EmpiricalEta, BoundedByLogN) {
+  Rng rng(4);
+  const auto scores = RandomScores(64, rng);
+  EXPECT_LE(dro::EmpiricalEta(scores, 1e-4), std::log(64.0) + 1e-6);
+}
+
+// --------------------------------------------------------------------------
+// Lemma 1: tau * log E exp(f/tau) == E_{P*}[f] - tau * KL(P* || P-), with
+// P* the exponential tilt — the exact duality identity behind the
+// SL <-> DRO equivalence.
+// --------------------------------------------------------------------------
+class Lemma1Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma1Sweep, DualityIdentityHolds) {
+  const double tau = GetParam();
+  Rng rng(5);
+  const auto scores = RandomScores(200, rng);
+  const auto p_star = dro::WorstCaseWeights(scores, tau);
+  const double objective = dro::NegativeObjective(scores, tau);
+  const double expectation = dro::TiltedExpectation(scores, p_star);
+  const double eta = dro::EmpiricalEta(scores, tau);
+  EXPECT_NEAR(objective, expectation - tau * eta, 1e-6) << "tau=" << tau;
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, Lemma1Sweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.5, 1.0, 5.0));
+
+TEST(Lemma1, TiltMaximizesOverRandomKlConstrainedRivals) {
+  // No distribution within the same KL ball achieves a higher tilted
+  // objective E_P[f] - tau*KL(P||U) than the exponential tilt.
+  Rng rng(6);
+  const auto scores = RandomScores(30, rng);
+  const double tau = 0.15;
+  const auto p_star = dro::WorstCaseWeights(scores, tau);
+  const double eta_star = dro::EmpiricalEta(scores, tau);
+  const double best = dro::TiltedExpectation(scores, p_star) - tau * eta_star;
+
+  const std::vector<double> uniform(scores.size(), 1.0 / scores.size());
+  for (int trial = 0; trial < 300; ++trial) {
+    // Random perturbed distribution.
+    std::vector<double> q(scores.size());
+    double sum = 0.0;
+    for (double& x : q) {
+      x = std::exp(2.0 * rng.NextGaussian() * rng.NextDouble());
+      sum += x;
+    }
+    for (double& x : q) x /= sum;
+    const double kl = KlDivergence(q, uniform);
+    const double value = dro::TiltedExpectation(scores, q) - tau * kl;
+    EXPECT_LE(value, best + 1e-6);
+  }
+}
+
+TEST(SolveWorstCase, RecoversTiltTemperature) {
+  // eta -> tau round trip: solving the primal with eta(tau0) must give
+  // back tau0 (the Lagrange-multiplier interpretation of temperature).
+  Rng rng(7);
+  const auto scores = RandomScores(80, rng);
+  for (const double tau0 : {0.08, 0.15, 0.4}) {
+    const double eta = dro::EmpiricalEta(scores, tau0);
+    double solved = 0.0;
+    const auto w = dro::SolveWorstCase(scores, eta, &solved);
+    EXPECT_NEAR(solved, tau0, 0.01 * tau0) << "tau0=" << tau0;
+    const auto expected = dro::WorstCaseWeights(scores, tau0);
+    for (size_t j = 0; j < w.size(); ++j) {
+      EXPECT_NEAR(w[j], expected[j], 1e-4);
+    }
+  }
+}
+
+TEST(SolveWorstCase, ZeroRadiusGivesUniform) {
+  Rng rng(8);
+  const auto scores = RandomScores(20, rng);
+  const auto w = dro::SolveWorstCase(scores, 0.0);
+  for (double x : w) EXPECT_NEAR(x, 1.0 / 20.0, 1e-3);
+}
+
+// --------------------------------------------------------------------------
+// Lemma 2: tau log E exp(f/tau) = E[f] + V[f]/(2 tau) + o(1/tau).
+// --------------------------------------------------------------------------
+TEST(Lemma2, TaylorApproximationErrorShrinksWithTau) {
+  Rng rng(9);
+  const auto scores = RandomScores(500, rng);
+  double prev_err = 1e9;
+  for (double tau : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double exact = dro::NegativeObjective(scores, tau);
+    const double approx = dro::TaylorNegativeApprox(scores, tau);
+    const double err = std::abs(exact - approx);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-4);  // essentially exact at tau = 8
+}
+
+TEST(Lemma2, VarianceTermIsTheLeadingCorrection) {
+  // For scores with mean 0, objective - mean ~= V/(2 tau).
+  Rng rng(10);
+  auto scores = RandomScores(2000, rng);
+  // Center the sample.
+  double mean = 0.0;
+  for (float s : scores) mean += s;
+  mean /= static_cast<double>(scores.size());
+  for (float& s : scores) s -= static_cast<float>(mean);
+  double var = 0.0;
+  for (float s : scores) var += static_cast<double>(s) * s;
+  var /= static_cast<double>(scores.size());
+
+  const double tau = 4.0;
+  const double objective = dro::NegativeObjective(scores, tau);
+  EXPECT_NEAR(objective, var / (2.0 * tau), 0.05 * var / (2.0 * tau));
+}
+
+// --------------------------------------------------------------------------
+// Corollary III.1.
+// --------------------------------------------------------------------------
+TEST(OptimalTau, FormulaAndMonotonicity) {
+  EXPECT_NEAR(dro::OptimalTau(0.08, 1.0), std::sqrt(0.04), 1e-12);
+  // Grows with variance, shrinks with radius.
+  EXPECT_LT(dro::OptimalTau(0.01, 1.0), dro::OptimalTau(0.04, 1.0));
+  EXPECT_GT(dro::OptimalTau(0.04, 0.5), dro::OptimalTau(0.04, 2.0));
+}
+
+TEST(OptimalTau, ConsistentWithEmpiricalEta) {
+  // Round trip through the empirical quantities: for Gaussian-ish scores
+  // and moderate tau, tau ~= sqrt(V / (2 eta(tau))) approximately (the
+  // corollary is a second-order approximation).
+  Rng rng(11);
+  std::vector<float> scores(4000);
+  for (auto& s : scores) {
+    s = static_cast<float>(0.15 * rng.NextGaussian());
+  }
+  double var = 0.0, mean = 0.0;
+  for (float s : scores) mean += s;
+  mean /= scores.size();
+  for (float s : scores) var += (s - mean) * (s - mean);
+  var /= scores.size();
+
+  const double tau = 0.4;  // large vs score scale -> expansion regime
+  const double eta = dro::EmpiricalEta(scores, tau);
+  const double tau_estimate = dro::OptimalTau(var, eta);
+  EXPECT_NEAR(tau_estimate, tau, 0.15 * tau);
+}
+
+}  // namespace
+}  // namespace bslrec

@@ -1,0 +1,99 @@
+#include "analysis/dro_analysis.h"
+
+#include <cmath>
+
+#include "core/dro.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "models/mf.h"
+
+namespace bslrec {
+namespace {
+
+SyntheticData ProbeData() {
+  SyntheticConfig c;
+  c.num_users = 80;
+  c.num_items = 70;
+  c.avg_items_per_user = 12.0;
+  c.seed = 1;
+  return GenerateSynthetic(c);
+}
+
+TEST(CollectNegativeScores, ScoresAreCosines) {
+  const SyntheticData data = ProbeData();
+  Rng rng(2);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8, rng);
+  model.Forward(rng);
+  UniformNegativeSampler sampler(data.dataset);
+  Rng probe_rng(3);
+  const NegativeScoreProbe probe = CollectNegativeScores(
+      model, data.dataset, sampler, 30, 50, probe_rng);
+  EXPECT_FALSE(probe.scores.empty());
+  for (float s : probe.scores) {
+    EXPECT_GE(s, -1.0f - 1e-4f);
+    EXPECT_LE(s, 1.0f + 1e-4f);
+  }
+  EXPECT_TRUE(std::isfinite(probe.mean));
+  EXPECT_GE(probe.variance, 0.0);
+}
+
+TEST(CollectNegativeScores, CleanSamplerHasZeroFalseNegativeRate) {
+  const SyntheticData data = ProbeData();
+  Rng rng(4);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8, rng);
+  model.Forward(rng);
+  UniformNegativeSampler sampler(data.dataset);
+  Rng probe_rng(5);
+  const NegativeScoreProbe probe = CollectNegativeScores(
+      model, data.dataset, sampler, 40, 40, probe_rng);
+  EXPECT_DOUBLE_EQ(probe.false_negative_rate, 0.0);
+}
+
+TEST(CollectNegativeScores, NoisySamplerRateScalesWithOdds) {
+  const SyntheticData data = ProbeData();
+  Rng rng(6);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8, rng);
+  model.Forward(rng);
+  NoisyNegativeSampler low(data.dataset, 1.0);
+  NoisyNegativeSampler high(data.dataset, 10.0);
+  Rng r1(7), r2(7);
+  const auto p_low =
+      CollectNegativeScores(model, data.dataset, low, 60, 100, r1);
+  const auto p_high =
+      CollectNegativeScores(model, data.dataset, high, 60, 100, r2);
+  EXPECT_GT(p_high.false_negative_rate, p_low.false_negative_rate);
+  EXPECT_GT(p_low.false_negative_rate, 0.0);
+}
+
+TEST(CollectNegativeScores, VarianceFeedsOptimalTau) {
+  // End-to-end plumbing of Corollary III.1 inputs: the probe variance and
+  // a chosen eta produce a finite positive tau*.
+  const SyntheticData data = ProbeData();
+  Rng rng(8);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8, rng);
+  model.Forward(rng);
+  UniformNegativeSampler sampler(data.dataset);
+  Rng probe_rng(9);
+  const auto probe =
+      CollectNegativeScores(model, data.dataset, sampler, 40, 60, probe_rng);
+  const double tau_star = dro::OptimalTau(probe.variance, 0.5);
+  EXPECT_GT(tau_star, 0.0);
+  EXPECT_TRUE(std::isfinite(tau_star));
+}
+
+TEST(MeanItemScoresTest, ShapeAndRange) {
+  const SyntheticData data = ProbeData();
+  Rng rng(10);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8, rng);
+  model.Forward(rng);
+  Rng probe_rng(11);
+  const auto scores = MeanItemScores(model, data.dataset, 25, probe_rng);
+  ASSERT_EQ(scores.size(), data.dataset.num_items());
+  for (double s : scores) {
+    EXPECT_GE(s, -1.0 - 1e-4);
+    EXPECT_LE(s, 1.0 + 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace bslrec

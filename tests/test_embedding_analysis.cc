@@ -1,0 +1,92 @@
+#include "analysis/embedding_analysis.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "math/rng.h"
+
+namespace bslrec {
+namespace {
+
+Matrix Blobs(size_t per_blob, size_t num_blobs, double spread,
+             std::vector<uint32_t>& labels, uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(per_blob * num_blobs, 8);
+  labels.assign(points.rows(), 0);
+  for (size_t b = 0; b < num_blobs; ++b) {
+    std::vector<double> center(8);
+    for (auto& c : center) c = rng.NextGaussian() * 5.0;
+    for (size_t i = 0; i < per_blob; ++i) {
+      const size_t row = b * per_blob + i;
+      labels[row] = static_cast<uint32_t>(b);
+      for (size_t k = 0; k < 8; ++k) {
+        points.At(row, k) =
+            static_cast<float>(center[k] + rng.NextGaussian() * spread);
+      }
+    }
+  }
+  return points;
+}
+
+TEST(Silhouette, TightClustersScoreHigh) {
+  std::vector<uint32_t> labels;
+  const Matrix points = Blobs(20, 3, 0.2, labels, 1);
+  EXPECT_GT(SilhouetteScore(points, labels), 0.7);
+}
+
+TEST(Silhouette, RandomLabelsScoreNearZero) {
+  std::vector<uint32_t> labels;
+  Matrix points = Blobs(30, 2, 0.3, labels, 2);
+  Rng rng(3);
+  for (auto& l : labels) l = static_cast<uint32_t>(rng.NextIndex(2));
+  EXPECT_LT(std::abs(SilhouetteScore(points, labels)), 0.25);
+}
+
+TEST(Silhouette, LooserClustersScoreLower) {
+  std::vector<uint32_t> l1, l2;
+  const Matrix tight = Blobs(15, 3, 0.2, l1, 4);
+  const Matrix loose = Blobs(15, 3, 3.0, l2, 4);
+  EXPECT_GT(SilhouetteScore(tight, l1), SilhouetteScore(loose, l2));
+}
+
+TEST(Alignment, ZeroForIdenticalEmbeddings) {
+  Matrix points(4, 3);
+  for (size_t r = 0; r < 4; ++r) points.At(r, 0) = 1.0f;
+  const std::vector<uint32_t> labels = {0, 0, 0, 0};
+  EXPECT_NEAR(AlignmentLoss(points, labels), 0.0, 1e-9);
+}
+
+TEST(Alignment, GrowsWithIntraClusterSpread) {
+  std::vector<uint32_t> l1, l2;
+  const Matrix tight = Blobs(15, 2, 0.1, l1, 5);
+  const Matrix loose = Blobs(15, 2, 2.0, l2, 5);
+  EXPECT_LT(AlignmentLoss(tight, l1), AlignmentLoss(loose, l2));
+}
+
+TEST(Uniformity, UniformSphereMoreNegativeThanCollapsed) {
+  Rng rng(6);
+  Matrix spread(100, 8);
+  spread.InitGaussian(rng, 1.0f);
+  Matrix collapsed(100, 8);
+  for (size_t r = 0; r < 100; ++r) {
+    collapsed.At(r, 0) = 1.0f + 0.001f * static_cast<float>(rng.NextDouble());
+  }
+  EXPECT_LT(UniformityLoss(spread), UniformityLoss(collapsed));
+}
+
+TEST(IntraInter, PerfectClustersHaveLowRatio) {
+  std::vector<uint32_t> labels;
+  const Matrix points = Blobs(15, 3, 0.1, labels, 7);
+  EXPECT_LT(IntraInterRatio(points, labels), 0.5);
+}
+
+TEST(IntraInter, ShuffledLabelsApproachOne) {
+  std::vector<uint32_t> labels;
+  Matrix points = Blobs(25, 2, 0.2, labels, 8);
+  Rng rng(9);
+  for (auto& l : labels) l = static_cast<uint32_t>(rng.NextIndex(2));
+  EXPECT_NEAR(IntraInterRatio(points, labels), 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace bslrec

@@ -1,0 +1,137 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "models/mf.h"
+#include "test_util.h"
+
+namespace bslrec {
+namespace {
+
+// Plants embeddings so each user's *test* item is its nearest neighbor
+// (after the user's train items, which the evaluator must mask).
+void PlantOracleEmbeddings(MfModel& model, const Dataset& data) {
+  const size_t d = model.dim();
+  auto params = model.Params();
+  Matrix& users = *params[0].value;
+  Matrix& items = *params[1].value;
+  users.SetZero();
+  items.SetZero();
+  // Give each item a one-hot-ish unique direction.
+  for (uint32_t i = 0; i < data.num_items(); ++i) {
+    items.At(i, i % d) = 1.0f;
+    items.At(i, (i + 1) % d) = 0.1f * static_cast<float>(i + 1);
+  }
+  // Point each user at its first test item's direction.
+  for (uint32_t u = 0; u < data.num_users(); ++u) {
+    const auto test = data.TestItems(u);
+    if (test.empty()) continue;
+    for (size_t k = 0; k < d; ++k) {
+      users.At(u, k) = items.At(test[0], k);
+    }
+  }
+}
+
+TEST(Evaluator, OracleEmbeddingsScoreHighly) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(1);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  PlantOracleEmbeddings(model, d);
+  model.Forward(rng);
+  const Evaluator eval(d, 1);  // K = 1: the top item must be the test item
+  const TopKMetrics m = eval.Evaluate(model);
+  EXPECT_EQ(m.num_users, 4u);
+  EXPECT_NEAR(m.recall, 1.0, 1e-9);
+  EXPECT_NEAR(m.ndcg, 1.0, 1e-9);
+  EXPECT_NEAR(m.hit_rate, 1.0, 1e-9);
+}
+
+TEST(Evaluator, MasksTrainItems) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(2);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  model.Forward(rng);
+  const Evaluator eval(d, 20);
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    const auto ranking = eval.TopKForUser(model, u);
+    for (uint32_t item : ranking) {
+      EXPECT_FALSE(d.IsTrainPositive(u, item))
+          << "train item " << item << " recommended to user " << u;
+    }
+  }
+}
+
+TEST(Evaluator, TopKSizeRespectsCatalog) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(3);
+  MfModel model(d.num_users(), d.num_items(), 4, rng);
+  model.Forward(rng);
+  const Evaluator eval(d, 100);  // K > catalog size
+  const auto ranking = eval.TopKForUser(model, 0);
+  // Full catalog minus the user's masked train positives.
+  EXPECT_EQ(ranking.size(), d.num_items() - d.TrainItems(0).size());
+  // No duplicates.
+  auto sorted = ranking;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(Evaluator, MetricsAreBoundedInUnitInterval) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(4);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  model.Forward(rng);
+  const Evaluator eval(d, 3);
+  const TopKMetrics m = eval.Evaluate(model);
+  EXPECT_GE(m.recall, 0.0);
+  EXPECT_LE(m.recall, 1.0);
+  EXPECT_GE(m.ndcg, 0.0);
+  EXPECT_LE(m.ndcg, 1.0);
+  EXPECT_GE(m.precision, 0.0);
+  EXPECT_LE(m.precision, 1.0);
+}
+
+TEST(Evaluator, RecallGrowsWithK) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(5);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  model.Forward(rng);
+  const Evaluator eval(d, 20);
+  const double r1 = eval.EvaluateAtK(model, 1).recall;
+  const double r3 = eval.EvaluateAtK(model, 3).recall;
+  const double r6 = eval.EvaluateAtK(model, 6).recall;
+  EXPECT_LE(r1, r3 + 1e-12);
+  EXPECT_LE(r3, r6 + 1e-12);
+  // With K = catalog size every test item is retrieved.
+  EXPECT_NEAR(r6, 1.0, 1e-9);
+}
+
+TEST(Evaluator, GroupNdcgSumsToOverallNdcg) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(6);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  model.Forward(rng);
+  const Evaluator eval(d, 4);
+  const auto groups = eval.GroupNdcg(model, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  double total = 0.0;
+  for (double g : groups) total += g;
+  EXPECT_NEAR(total, eval.Evaluate(model).ndcg, 1e-9);
+}
+
+TEST(Evaluator, SkipsUsersWithoutTestItems) {
+  std::vector<Edge> train = {{0, 0}, {1, 1}};
+  std::vector<Edge> test = {{0, 1}};
+  const Dataset d(2, 2, std::move(train), std::move(test));
+  Rng rng(7);
+  MfModel model(2, 2, 4, rng);
+  model.Forward(rng);
+  const Evaluator eval(d, 1);
+  EXPECT_EQ(eval.Evaluate(model).num_users, 1u);
+}
+
+}  // namespace
+}  // namespace bslrec

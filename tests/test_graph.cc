@@ -1,0 +1,181 @@
+#include "graph/bipartite_graph.h"
+
+#include <cmath>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "graph/propagation.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace bslrec {
+namespace {
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  // 2x3 matrix [[1,0,2],[0,3,0]].
+  SparseMatrix m(2, 3, {0, 0, 1}, {0, 2, 1}, {1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(m.nnz(), 3u);
+  Matrix x(3, 2);
+  x.At(0, 0) = 1.0f;
+  x.At(1, 0) = 2.0f;
+  x.At(2, 0) = 3.0f;
+  x.At(0, 1) = -1.0f;
+  x.At(1, 1) = -2.0f;
+  x.At(2, 1) = -3.0f;
+  Matrix out(2, 2);
+  m.Multiply(x, out);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 1.0f + 6.0f);   // 1*1 + 2*3
+  EXPECT_FLOAT_EQ(out.At(1, 0), 6.0f);          // 3*2
+  EXPECT_FLOAT_EQ(out.At(0, 1), -1.0f - 6.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 1), -6.0f);
+}
+
+TEST(SparseMatrix, DuplicateEntriesSummed) {
+  SparseMatrix m(1, 1, {0, 0, 0}, {0, 0, 0}, {1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(m.nnz(), 1u);
+  Matrix x(1, 1);
+  x.At(0, 0) = 1.0f;
+  Matrix out(1, 1);
+  m.Multiply(x, out);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 6.0f);
+}
+
+TEST(SparseMatrix, TransposeMultiplyIsAdjoint) {
+  // <A x, y> == <x, A^T y> for random data.
+  Rng rng(1);
+  std::vector<uint32_t> rows, cols;
+  std::vector<float> vals;
+  for (int k = 0; k < 40; ++k) {
+    rows.push_back(static_cast<uint32_t>(rng.NextIndex(6)));
+    cols.push_back(static_cast<uint32_t>(rng.NextIndex(9)));
+    vals.push_back(static_cast<float>(rng.NextGaussian()));
+  }
+  SparseMatrix a(6, 9, rows, cols, vals);
+  Matrix x(9, 3), y(6, 3);
+  x.InitGaussian(rng, 1.0f);
+  y.InitGaussian(rng, 1.0f);
+  Matrix ax(6, 3), aty(9, 3);
+  a.Multiply(x, ax);
+  a.TransposeMultiply(y, aty);
+  double lhs = 0.0, rhs = 0.0;
+  for (size_t k = 0; k < ax.size(); ++k) {
+    lhs += static_cast<double>(ax.data()[k]) * y.data()[k];
+  }
+  for (size_t k = 0; k < x.size(); ++k) {
+    rhs += static_cast<double>(x.data()[k]) * aty.data()[k];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(BipartiteGraph, DegreesMatchDataset) {
+  const Dataset d = testing::TinyDataset();
+  const BipartiteGraph g(d);
+  EXPECT_EQ(g.num_users(), 4u);
+  EXPECT_EQ(g.num_items(), 6u);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    EXPECT_EQ(g.UserDegree(u), d.TrainItems(u).size());
+  }
+  for (uint32_t i = 0; i < d.num_items(); ++i) {
+    EXPECT_EQ(g.ItemDegree(i), d.item_popularity()[i]);
+  }
+}
+
+TEST(BipartiteGraph, AdjacencyIsSymmetricNormalized) {
+  const Dataset d = testing::TinyDataset();
+  const BipartiteGraph g(d);
+  const SparseMatrix& a = g.Adjacency();
+  EXPECT_EQ(a.rows(), g.num_nodes());
+  EXPECT_EQ(a.nnz(), 2 * d.num_train());
+  // Check one weight: edge (u0, i0). deg(u0)=2, deg(i0)=2 -> 1/2.
+  Matrix x(g.num_nodes(), 1);
+  x.At(g.num_users() + 0, 0) = 1.0f;  // one-hot on item 0
+  Matrix out(g.num_nodes(), 1);
+  a.Multiply(x, out);
+  EXPECT_NEAR(out.At(0, 0), 1.0 / std::sqrt(2.0 * 2.0), 1e-6);
+  // Symmetry: A x (one-hot u0) puts the same weight on item 0.
+  Matrix xu(g.num_nodes(), 1);
+  xu.At(0, 0) = 1.0f;
+  Matrix out2(g.num_nodes(), 1);
+  a.Multiply(xu, out2);
+  EXPECT_NEAR(out2.At(g.num_users() + 0, 0), out.At(0, 0), 1e-6);
+}
+
+TEST(BipartiteGraph, SpectralRadiusAtMostOne) {
+  // D^-1/2 A D^-1/2 of a bipartite graph has eigenvalues in [-1, 1]:
+  // repeated propagation of any vector must not blow up.
+  SyntheticConfig c;
+  c.num_users = 50;
+  c.num_items = 40;
+  c.seed = 3;
+  const Dataset d = GenerateSynthetic(c).dataset;
+  const BipartiteGraph g(d);
+  Rng rng(4);
+  Matrix x(g.num_nodes(), 1);
+  x.InitGaussian(rng, 1.0f);
+  Matrix y(g.num_nodes(), 1);
+  float prev_norm = x.FrobeniusNorm();
+  for (int it = 0; it < 20; ++it) {
+    g.Adjacency().Multiply(x, y);
+    std::swap(x, y);
+    const float norm = x.FrobeniusNorm();
+    EXPECT_LE(norm, prev_norm * 1.0001f);
+    prev_norm = norm;
+  }
+}
+
+TEST(BipartiteGraph, NormalizedRatingsShape) {
+  const Dataset d = testing::TinyDataset();
+  const BipartiteGraph g(d);
+  EXPECT_EQ(g.NormalizedRatings().rows(), d.num_users());
+  EXPECT_EQ(g.NormalizedRatings().cols(), d.num_items());
+  EXPECT_EQ(g.NormalizedRatings().nnz(), d.num_train());
+}
+
+TEST(BipartiteGraph, EdgeDropoutDropsAboutP) {
+  SyntheticConfig c;
+  c.num_users = 100;
+  c.num_items = 80;
+  c.avg_items_per_user = 20.0;
+  c.seed = 5;
+  const Dataset d = GenerateSynthetic(c).dataset;
+  const BipartiteGraph g(d);
+  Rng rng(6);
+  const SparseMatrix dropped = g.EdgeDropout(0.3, rng);
+  const double kept = static_cast<double>(dropped.nnz()) /
+                      static_cast<double>(g.Adjacency().nnz());
+  EXPECT_NEAR(kept, 0.7, 0.03);
+}
+
+TEST(BipartiteGraph, EdgeDropoutZeroKeepsEverything) {
+  const Dataset d = testing::TinyDataset();
+  const BipartiteGraph g(d);
+  Rng rng(7);
+  const SparseMatrix dropped = g.EdgeDropout(0.0, rng);
+  EXPECT_EQ(dropped.nnz(), g.Adjacency().nnz());
+}
+
+TEST(BipartiteGraph, EdgeDropoutRescalePreservesExpectation) {
+  // E[dropped propagation] == clean propagation (inverted dropout).
+  const Dataset d = testing::TinyDataset();
+  const BipartiteGraph g(d);
+  Rng rng(8);
+  Matrix x(g.num_nodes(), 2);
+  x.InitGaussian(rng, 1.0f);
+  Matrix clean(g.num_nodes(), 2);
+  g.Adjacency().Multiply(x, clean);
+  Matrix acc(g.num_nodes(), 2);
+  const int kTrials = 3000;
+  Matrix out(g.num_nodes(), 2);
+  for (int t = 0; t < kTrials; ++t) {
+    const SparseMatrix dropped = g.EdgeDropout(0.4, rng);
+    dropped.Multiply(x, out);
+    acc.AddScaled(out, 1.0f / kTrials);
+  }
+  for (size_t k = 0; k < acc.size(); ++k) {
+    EXPECT_NEAR(acc.data()[k], clean.data()[k], 0.08) << "entry " << k;
+  }
+}
+
+}  // namespace
+}  // namespace bslrec

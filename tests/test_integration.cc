@@ -1,0 +1,179 @@
+// End-to-end statistical reproductions of the paper's headline claims on
+// small synthetic data. These are the "does the system reproduce the
+// science" tests; the bench/ harnesses regenerate the full tables.
+#include <cmath>
+#include <memory>
+
+#include "core/losses.h"
+#include "data/noise.h"
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "gtest/gtest.h"
+#include "models/lightgcn.h"
+#include "models/mf.h"
+#include "sampling/negative_sampler.h"
+#include "train/trainer.h"
+
+namespace bslrec {
+namespace {
+
+// Catalog large enough that hardness-aware negative weighting matters
+// (the regime where the paper's loss ordering emerges).
+SyntheticConfig BenchData(uint64_t seed) {
+  SyntheticConfig c;
+  c.num_users = 600;
+  c.num_items = 900;
+  c.num_clusters = 16;
+  c.avg_items_per_user = 20.0;
+  c.zipf_alpha = 1.0;
+  c.positive_noise_rate = 0.03;
+  c.seed = seed;
+  return c;
+}
+
+TrainConfig RunConfig() {
+  TrainConfig cfg;
+  cfg.epochs = 16;
+  cfg.batch_size = 1024;
+  cfg.num_negatives = 64;
+  cfg.lr = 0.05;
+  cfg.eval_every = 4;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// Temperature in the optimum basin for the synthetic presets (the paper's
+// 0.05-0.15 range maps to ~0.6 here because the synthetic cosine-score
+// variance is larger; Corollary III.1 predicts exactly this shift).
+constexpr double kTau = 0.6;
+
+// Trains MF with the given loss on `data` and returns best NDCG@20.
+double TrainMf(const Dataset& data, const LossFunction& loss,
+               const NegativeSampler& sampler,
+               const TrainConfig& cfg = RunConfig()) {
+  Rng rng(11);
+  MfModel model(data.num_users(), data.num_items(), 16, rng);
+  Trainer trainer(data, model, loss, sampler, cfg);
+  return trainer.Train().best.ndcg;
+}
+
+TEST(PaperClaims, SoftmaxLossBeatsClassicLossesOnCleanData) {
+  // Figure 1 / Table II: SL > BPR, BCE, MSE by a clear margin (MF).
+  const Dataset data = GenerateSynthetic(BenchData(21)).dataset;
+  UniformNegativeSampler sampler(data);
+  const double sl = TrainMf(data, SoftmaxLoss(kTau), sampler);
+  const double bpr = TrainMf(data, BprLoss(), sampler);
+  const double bce = TrainMf(data, BceLoss(), sampler);
+  const double mse = TrainMf(data, MseLoss(), sampler);
+  EXPECT_GT(sl, bpr);
+  EXPECT_GT(sl, bce);
+  EXPECT_GT(sl, mse);
+}
+
+TEST(PaperClaims, BslMatchesSlOnCleanData) {
+  // On (nearly) clean positives BSL should be on par with SL (Table II:
+  // BSL >= SL everywhere; equality at tau1 == tau2 is exact).
+  const Dataset data = GenerateSynthetic(BenchData(22)).dataset;
+  UniformNegativeSampler sampler(data);
+  const double sl = TrainMf(data, SoftmaxLoss(kTau), sampler);
+  const double bsl = TrainMf(data, BilateralSoftmaxLoss(kTau, kTau), sampler);
+  EXPECT_NEAR(sl, bsl, 1e-12);  // identical loss -> identical run
+}
+
+TEST(PaperClaims, BslBeatsSlUnderPositiveNoise) {
+  // Table IV / RQ3: contaminate train positives, keep the test set clean;
+  // BSL's bilateral structure (tuned tau1/tau2 ratio) must beat SL.
+  const Dataset clean = GenerateSynthetic(BenchData(23)).dataset;
+  Rng noise_rng(31);
+  const Dataset noisy = InjectFalsePositives(clean, 0.4, noise_rng);
+  UniformNegativeSampler sampler(noisy);
+  const double sl = TrainMf(noisy, SoftmaxLoss(kTau), sampler);
+  // Grid over the tau1/tau2 ratio exactly as the paper tunes it.
+  double best_bsl = 0.0;
+  for (const double ratio : {0.8, 1.2, 1.6, 2.0}) {
+    best_bsl = std::max(
+        best_bsl,
+        TrainMf(noisy, BilateralSoftmaxLoss(kTau * ratio, kTau), sampler));
+  }
+  EXPECT_GT(best_bsl, sl);
+}
+
+TEST(PaperClaims, SoftmaxFamilyWinsUnderFalseNegatives) {
+  // RQ2 / Figure 8: with a heavily false-negative-injecting sampler
+  // (r_noise = 10), the softmax family stays on top. The paper tunes tau
+  // per noise level (Corollary III.1: more noise -> larger tau), emulated
+  // here with a small grid. BSL must beat every other loss outright; SL
+  // must beat BPR and MSE. (The paper itself observes the BCE anomaly —
+  // pointwise BCE can *improve* with negative noise on Yelp2018 — so no
+  // SL > BCE assertion is made at this noise level.)
+  const Dataset data = GenerateSynthetic(BenchData(24)).dataset;
+  NoisyNegativeSampler noisy_sampler(data, /*r_noise=*/10.0);
+  double sl = 0.0, bsl = 0.0;
+  for (const double tau : {kTau, kTau * 1.5}) {
+    sl = std::max(sl, TrainMf(data, SoftmaxLoss(tau), noisy_sampler));
+    bsl = std::max(
+        bsl, TrainMf(data, BilateralSoftmaxLoss(1.3 * tau, tau),
+                     noisy_sampler));
+  }
+  const double bpr = TrainMf(data, BprLoss(), noisy_sampler);
+  const double bce = TrainMf(data, BceLoss(), noisy_sampler);
+  const double mse = TrainMf(data, MseLoss(), noisy_sampler);
+  EXPECT_GT(bsl, bpr);
+  EXPECT_GT(bsl, bce);
+  EXPECT_GT(bsl, mse);
+  EXPECT_GT(bsl, sl);
+  EXPECT_GT(sl, bpr);
+  EXPECT_GT(sl, mse);
+}
+
+TEST(PaperClaims, LightGcnWithSlTrainsEndToEnd) {
+  // Table II's LGN rows: the graph backbone must train to a sane NDCG.
+  const Dataset data = GenerateSynthetic(BenchData(25)).dataset;
+  const BipartiteGraph graph(data);
+  Rng rng(12);
+  LightGcnModel model(graph, 16, 2, rng);
+  SoftmaxLoss loss(kTau);
+  UniformNegativeSampler sampler(data);
+  TrainConfig cfg = RunConfig();
+  cfg.epochs = 10;
+  Trainer trainer(data, model, loss, sampler, cfg);
+  const TopKMetrics before = trainer.Evaluate();
+  const TrainResult result = trainer.Train();
+  EXPECT_GT(result.best.ndcg, before.ndcg);
+  EXPECT_GT(result.best.ndcg, 0.05);
+}
+
+TEST(PaperClaims, FairnessSlSpreadsNdcgToUnpopularGroups) {
+  // Figure 4a: SL earns more absolute NDCG on the unpopular item groups
+  // than the pointwise losses do (the variance-penalty fairness story of
+  // Lemma 2). Uses a milder-skew catalog so the unpopular groups carry
+  // measurable test mass at all. (Our BPR baseline averages over 64
+  // negatives, which already makes it far fairer than the paper's classic
+  // one-negative BPR, so the assertion targets the pointwise losses —
+  // see EXPERIMENTS.md for the protocol note.)
+  SyntheticConfig fair_cfg = BenchData(26);
+  fair_cfg.zipf_alpha = 0.7;
+  fair_cfg.popularity_gamma = 0.35;
+  const Dataset data = GenerateSynthetic(fair_cfg).dataset;
+  UniformNegativeSampler sampler(data);
+  const auto tail_ndcg = [&](const LossFunction& loss) {
+    Rng rng(13);
+    MfModel model(data.num_users(), data.num_items(), 16, rng);
+    Trainer trainer(data, model, loss, sampler, RunConfig());
+    trainer.Train();
+    const Evaluator eval(data, 20);
+    const auto groups = eval.GroupNdcg(model, 10);
+    double tail = 0.0;
+    for (size_t g = 0; g < 7; ++g) tail += groups[g];  // unpopular 70%
+    return tail;
+  };
+  const SoftmaxLoss sl(kTau);
+  const BceLoss bce;
+  const MseLoss mse;
+  const double sl_tail = tail_ndcg(sl);
+  EXPECT_GT(sl_tail, tail_ndcg(bce));
+  EXPECT_GT(sl_tail, tail_ndcg(mse));
+}
+
+}  // namespace
+}  // namespace bslrec

@@ -1,0 +1,169 @@
+#include "math/matrix.h"
+
+#include <cmath>
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "math/rng.h"
+
+namespace bslrec {
+namespace {
+
+// Naive reference product for validating the optimized kernels.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a.At(i, k)) * b.At(k, j);
+      }
+      out.At(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Matrix RandomMatrix(size_t r, size_t c, Rng& rng) {
+  Matrix m(r, c);
+  m.InitGaussian(rng, 1.0f);
+  return m;
+}
+
+void ExpectMatrixNear(const Matrix& a, const Matrix& b, float tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a.At(i, j), b.At(i, j), tol) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Matrix, ShapeAndAccessors) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_FALSE(m.empty());
+  m.At(2, 3) = 5.0f;
+  EXPECT_FLOAT_EQ(m.Row(2)[3], 5.0f);
+  Matrix empty;
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Matrix, StartsZeroedAndSetZero) {
+  Matrix m(2, 2);
+  for (size_t k = 0; k < m.size(); ++k) EXPECT_FLOAT_EQ(m.data()[k], 0.0f);
+  m.At(0, 0) = 3.0f;
+  m.SetZero();
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+}
+
+TEST(Matrix, AddScaled) {
+  Matrix a(2, 2), b(2, 2);
+  a.At(0, 0) = 1.0f;
+  b.At(0, 0) = 2.0f;
+  b.At(1, 1) = 4.0f;
+  a.AddScaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(a.At(1, 1), 2.0f);
+}
+
+TEST(Matrix, XavierUniformWithinBound) {
+  Rng rng(1);
+  Matrix m(30, 20);
+  m.InitXavierUniform(rng);
+  const float bound = std::sqrt(6.0f / (30 + 20));
+  float max_abs = 0.0f;
+  for (size_t k = 0; k < m.size(); ++k) {
+    max_abs = std::max(max_abs, std::abs(m.data()[k]));
+  }
+  EXPECT_LE(max_abs, bound);
+  EXPECT_GT(max_abs, bound * 0.5f);  // actually fills the range
+}
+
+TEST(Matrix, GaussianInitStats) {
+  Rng rng(2);
+  Matrix m(100, 100);
+  m.InitGaussian(rng, 2.0f);
+  double sum = 0.0, sum_sq = 0.0;
+  for (size_t k = 0; k < m.size(); ++k) {
+    sum += m.data()[k];
+    sum_sq += static_cast<double>(m.data()[k]) * m.data()[k];
+  }
+  const double n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 4.0, 0.15);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m(1, 2);
+  m.At(0, 0) = 3.0f;
+  m.At(0, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(m.FrobeniusNorm(), 5.0f);
+}
+
+class MatMulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapes, MatMulMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(5);
+  const Matrix a = RandomMatrix(m, k, rng);
+  const Matrix b = RandomMatrix(k, n, rng);
+  Matrix out(m, n);
+  MatMul(a, b, out);
+  ExpectMatrixNear(out, NaiveMatMul(a, b), 1e-4f);
+}
+
+TEST_P(MatMulShapes, MatMulAccumAddsOnTop) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(6);
+  const Matrix a = RandomMatrix(m, k, rng);
+  const Matrix b = RandomMatrix(k, n, rng);
+  Matrix out(m, n);
+  for (size_t x = 0; x < out.size(); ++x) out.data()[x] = 1.0f;
+  MatMulAccum(a, b, out);
+  Matrix expected = NaiveMatMul(a, b);
+  for (size_t x = 0; x < expected.size(); ++x) expected.data()[x] += 1.0f;
+  ExpectMatrixNear(out, expected, 1e-4f);
+}
+
+TEST_P(MatMulShapes, MatTMulMatchesNaiveTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(7);
+  const Matrix a = RandomMatrix(k, m, rng);  // a^T is m x k
+  const Matrix b = RandomMatrix(k, n, rng);
+  Matrix out(m, n);
+  MatTMul(a, b, out);
+  // Reference: transpose a explicitly.
+  Matrix at(m, k);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) at.At(j, i) = a.At(i, j);
+  }
+  ExpectMatrixNear(out, NaiveMatMul(at, b), 1e-4f);
+}
+
+TEST_P(MatMulShapes, MatMulTAccumMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(8);
+  const Matrix a = RandomMatrix(m, k, rng);
+  const Matrix b = RandomMatrix(n, k, rng);  // b^T is k x n
+  Matrix out(m, n);
+  MatMulTAccum(a, b, out);
+  Matrix bt(k, n);
+  for (size_t i = 0; i < b.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) bt.At(j, i) = b.At(i, j);
+  }
+  ExpectMatrixNear(out, NaiveMatMul(a, bt), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 5, 5), std::make_tuple(7, 2, 9),
+                      std::make_tuple(16, 16, 16)));
+
+}  // namespace
+}  // namespace bslrec

@@ -1,0 +1,139 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace bslrec {
+namespace {
+
+TEST(Recall, HandComputed) {
+  const std::vector<uint32_t> ranking = {5, 3, 9, 1};
+  const std::vector<uint32_t> test = {1, 3, 7};  // sorted
+  EXPECT_NEAR(RecallAtK(ranking, test), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Recall, EmptyTestSetIsZero) {
+  const std::vector<uint32_t> ranking = {1, 2};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranking, {}), 0.0);
+}
+
+TEST(Recall, PerfectRanking) {
+  const std::vector<uint32_t> ranking = {2, 4};
+  const std::vector<uint32_t> test = {2, 4};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranking, test), 1.0);
+}
+
+TEST(Dcg, PositionDiscounting) {
+  const std::vector<uint32_t> test = {7};
+  // Hit at rank 0: 1/log2(2) = 1. Hit at rank 1: 1/log2(3).
+  EXPECT_NEAR(DcgAtK({{7, 1, 2}}, test), 1.0, 1e-12);
+  EXPECT_NEAR(DcgAtK({{1, 7, 2}}, test), 1.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(IdealDcg, CapsAtK) {
+  EXPECT_NEAR(IdealDcgAtK(1, 20), 1.0, 1e-12);
+  const double two = 1.0 + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(IdealDcgAtK(2, 20), two, 1e-12);
+  // More test items than K: only K terms.
+  EXPECT_NEAR(IdealDcgAtK(100, 2), two, 1e-12);
+}
+
+TEST(Ndcg, PerfectAndWorstCases) {
+  const std::vector<uint32_t> test = {3, 8};
+  EXPECT_NEAR(NdcgAtK({{3, 8, 1, 2}}, test, 4), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(NdcgAtK({{1, 2, 4, 5}}, test, 4), 0.0);
+}
+
+TEST(Ndcg, MiddleRankHandComputed) {
+  const std::vector<uint32_t> test = {9};
+  // Hit at rank 2 of 20: (1/log2(4)) / 1.
+  EXPECT_NEAR(NdcgAtK({{1, 2, 9}}, test, 20), 0.5, 1e-12);
+}
+
+TEST(PrecisionTest, DividesByK) {
+  const std::vector<uint32_t> test = {1, 2, 3};
+  EXPECT_NEAR(PrecisionAtK({{1, 2, 7, 8}}, test, 4), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({{1}}, test, 0), 0.0);
+}
+
+TEST(HitTest, AnyOverlapCounts) {
+  const std::vector<uint32_t> test = {5};
+  EXPECT_DOUBLE_EQ(HitAtK({{1, 2, 5}}, test), 1.0);
+  EXPECT_DOUBLE_EQ(HitAtK({{1, 2, 3}}, test), 0.0);
+}
+
+TEST(GroupNdcg, DecompositionSumsToNdcg) {
+  const std::vector<uint32_t> ranking = {4, 0, 7, 2};
+  const std::vector<uint32_t> test = {0, 2, 9};
+  const std::vector<uint32_t> group = {0, 0, 1, 1, 2, 2, 0, 1, 2, 0};
+  std::vector<double> acc(3, 0.0);
+  AccumulateGroupNdcg(ranking, test, 4, group, acc);
+  const double total = acc[0] + acc[1] + acc[2];
+  EXPECT_NEAR(total, NdcgAtK(ranking, test, 4), 1e-12);
+  // Item 0 (group 0) hit at rank 1; item 2 (group 1) hit at rank 3.
+  EXPECT_GT(acc[0], 0.0);
+  EXPECT_GT(acc[1], 0.0);
+  EXPECT_DOUBLE_EQ(acc[2], 0.0);
+}
+
+TEST(GroupNdcg, EmptyTestContributesNothing) {
+  const std::vector<uint32_t> group = {0, 0};
+  std::vector<double> acc(1, 0.0);
+  AccumulateGroupNdcg({{0, 1}}, {}, 2, group, acc);
+  EXPECT_DOUBLE_EQ(acc[0], 0.0);
+}
+
+TEST(Mrr, FirstHitPositionOnly) {
+  const std::vector<uint32_t> test = {4, 9};
+  EXPECT_DOUBLE_EQ(MrrAtK({{4, 9, 1}}, test), 1.0);
+  EXPECT_DOUBLE_EQ(MrrAtK({{1, 2, 9}}, test), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MrrAtK({{1, 2, 3}}, test), 0.0);
+  EXPECT_DOUBLE_EQ(MrrAtK({}, test), 0.0);
+}
+
+TEST(AveragePrecision, HandComputed) {
+  // Hits at ranks 1 and 3 (1-based) with 2 test items, K=4:
+  // AP = (1/2) * (1/1 + 2/3).
+  const std::vector<uint32_t> test = {2, 6};
+  EXPECT_NEAR(AveragePrecisionAtK({{2, 1, 6, 3}}, test, 4),
+              0.5 * (1.0 + 2.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({{1, 3, 4, 5}}, test, 4), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({{2}}, {}, 4), 0.0);
+}
+
+TEST(AveragePrecision, PerfectRankingIsOne) {
+  const std::vector<uint32_t> test = {1, 2, 3};
+  EXPECT_NEAR(AveragePrecisionAtK({{1, 2, 3}}, test, 3), 1.0, 1e-12);
+}
+
+TEST(Gini, EqualExposureIsZero) {
+  const std::vector<double> equal(10, 3.0);
+  EXPECT_NEAR(GiniCoefficient(equal), 0.0, 1e-12);
+}
+
+TEST(Gini, FullConcentrationApproachesOne) {
+  std::vector<double> concentrated(100, 0.0);
+  concentrated[7] = 42.0;
+  EXPECT_NEAR(GiniCoefficient(concentrated), 0.99, 1e-12);
+}
+
+TEST(Gini, KnownTwoValueCase) {
+  // {0, 1}: Gini = 0.5 for n = 2.
+  EXPECT_NEAR(GiniCoefficient(std::vector<double>{0.0, 1.0}), 0.5, 1e-12);
+}
+
+TEST(Gini, EmptyAndZeroSafe) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient(std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+TEST(Gini, MoreSkewMoreGini) {
+  const std::vector<double> mild = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> skewed = {0.1, 0.1, 0.1, 9.7};
+  EXPECT_LT(GiniCoefficient(mild), GiniCoefficient(skewed));
+}
+
+}  // namespace
+}  // namespace bslrec

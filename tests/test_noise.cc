@@ -1,0 +1,152 @@
+#include "data/noise.h"
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace bslrec {
+namespace {
+
+TEST(InjectFalsePositives, ZeroRatioIsIdentity) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(1);
+  const Dataset noisy = InjectFalsePositives(d, 0.0, rng);
+  EXPECT_EQ(noisy.num_train(), d.num_train());
+  EXPECT_EQ(noisy.num_test(), d.num_test());
+}
+
+TEST(InjectFalsePositives, AddsExpectedCount) {
+  SyntheticConfig c;
+  c.num_users = 100;
+  c.num_items = 120;
+  c.avg_items_per_user = 15.0;
+  c.seed = 2;
+  const Dataset d = GenerateSynthetic(c).dataset;
+  Rng rng(3);
+  const Dataset noisy = InjectFalsePositives(d, 0.2, rng);
+  const double added =
+      static_cast<double>(noisy.num_train() - d.num_train());
+  EXPECT_NEAR(added / static_cast<double>(d.num_train()), 0.2, 0.03);
+}
+
+TEST(InjectFalsePositives, TestSplitUntouched) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(4);
+  const Dataset noisy = InjectFalsePositives(d, 1.0, rng);
+  ASSERT_EQ(noisy.num_test(), d.num_test());
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    const auto a = d.TestItems(u);
+    const auto b = noisy.TestItems(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST(InjectFalsePositives, OriginalPositivesPreserved) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(5);
+  const Dataset noisy = InjectFalsePositives(d, 0.5, rng);
+  for (const Edge& e : d.train_edges()) {
+    EXPECT_TRUE(noisy.IsTrainPositive(e.user, e.item));
+  }
+}
+
+TEST(InjectFalsePositives, NeverAddsTestItemsAsTrain) {
+  // The injected items must come from the never-interacted pool, so the
+  // evaluation stays uncontaminated.
+  SyntheticConfig c;
+  c.num_users = 60;
+  c.num_items = 80;
+  c.seed = 6;
+  const Dataset d = GenerateSynthetic(c).dataset;
+  Rng rng(7);
+  const Dataset noisy = InjectFalsePositives(d, 0.3, rng);
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    for (uint32_t i : d.TestItems(u)) {
+      EXPECT_FALSE(noisy.IsTrainPositive(u, i))
+          << "test item leaked into train for user " << u;
+    }
+  }
+}
+
+TEST(DropTrainPositives, DropsExpectedFraction) {
+  SyntheticConfig c;
+  c.num_users = 100;
+  c.num_items = 100;
+  c.avg_items_per_user = 20.0;
+  c.seed = 8;
+  const Dataset d = GenerateSynthetic(c).dataset;
+  Rng rng(9);
+  const Dataset dropped = DropTrainPositives(d, 0.25, rng);
+  const double kept = static_cast<double>(dropped.num_train()) /
+                      static_cast<double>(d.num_train());
+  EXPECT_NEAR(kept, 0.75, 0.03);
+}
+
+TEST(DropTrainPositives, KeepsAtLeastOnePerUser) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(10);
+  const Dataset dropped = DropTrainPositives(d, 1.0, rng);
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    EXPECT_GE(dropped.TrainItems(u).size(), 1u);
+  }
+}
+
+TEST(DropTrainPositives, DroppedAreSubsetOfOriginal) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(11);
+  const Dataset dropped = DropTrainPositives(d, 0.5, rng);
+  for (const Edge& e : dropped.train_edges()) {
+    EXPECT_TRUE(d.IsTrainPositive(e.user, e.item));
+  }
+}
+
+TEST(LeaveOneOut, ExactlyOneTestItemPerEligibleUser) {
+  const Dataset d = testing::TinyDataset();  // every user has 3 items total
+  Rng rng(12);
+  const Dataset loo = ResplitLeaveOneOut(d, rng);
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    EXPECT_EQ(loo.TestItems(u).size(), 1u) << "user " << u;
+    EXPECT_EQ(loo.TrainItems(u).size(), 2u) << "user " << u;
+  }
+}
+
+TEST(LeaveOneOut, PreservesInteractionUnion) {
+  const Dataset d = testing::TinyDataset();
+  Rng rng(13);
+  const Dataset loo = ResplitLeaveOneOut(d, rng);
+  EXPECT_EQ(loo.num_train() + loo.num_test(), d.num_train() + d.num_test());
+  // Every re-split interaction existed in the original union.
+  for (const Edge& e : loo.train_edges()) {
+    const auto te = d.TestItems(e.user);
+    EXPECT_TRUE(d.IsTrainPositive(e.user, e.item) ||
+                std::binary_search(te.begin(), te.end(), e.item));
+  }
+}
+
+TEST(LeaveOneOut, SingleInteractionUsersStayInTrain) {
+  std::vector<Edge> train = {{0, 0}};
+  const Dataset d(1, 2, std::move(train), {});
+  Rng rng(14);
+  const Dataset loo = ResplitLeaveOneOut(d, rng);
+  EXPECT_EQ(loo.TrainItems(0).size(), 1u);
+  EXPECT_TRUE(loo.TestItems(0).empty());
+}
+
+TEST(LeaveOneOut, DeterministicGivenSeed) {
+  const Dataset d = testing::TinyDataset();
+  Rng r1(15), r2(15);
+  const Dataset a = ResplitLeaveOneOut(d, r1);
+  const Dataset b = ResplitLeaveOneOut(d, r2);
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    ASSERT_EQ(a.TestItems(u).size(), b.TestItems(u).size());
+    for (size_t k = 0; k < a.TestItems(u).size(); ++k) {
+      EXPECT_EQ(a.TestItems(u)[k], b.TestItems(u)[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bslrec

@@ -1,0 +1,176 @@
+#include "math/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace bslrec {
+namespace {
+
+TEST(SplitMix64, DeterministicStream) {
+  SplitMix64 a(1), b(1), c(2);
+  const uint64_t a1 = a.Next();
+  EXPECT_EQ(a1, b.Next());
+  EXPECT_NE(a1, c.Next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextIndexInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextIndex(17), 17u);
+  }
+  EXPECT_EQ(rng.NextIndex(1), 0u);
+}
+
+TEST(Rng, NextIndexApproximatelyUniform) {
+  Rng rng(5);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextIndex(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 10.0, 500.0);
+  }
+}
+
+TEST(Rng, NextIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliEdgeCasesAndRate) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_FALSE(rng.NextBernoulli(-0.5));
+  EXPECT_TRUE(rng.NextBernoulli(1.5));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleUniformFirstPosition) {
+  // Each element should land in position 0 roughly 1/4 of the time.
+  Rng rng(23);
+  std::vector<int> counts(4, 0);
+  for (int trial = 0; trial < 40000; ++trial) {
+    std::vector<int> v = {0, 1, 2, 3};
+    rng.Shuffle(v);
+    ++counts[v[0]];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 400);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto s = rng.SampleWithoutReplacement(50, 10);
+    ASSERT_EQ(s.size(), 10u);
+    std::set<uint32_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (uint32_t x : s) EXPECT_LT(x, 50u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(31);
+  const auto s = rng.SampleWithoutReplacement(8, 8);
+  std::set<uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(Rng, SampleWithoutReplacementUnbiased) {
+  // Every element of [0,5) should appear in a 2-subset with prob 2/5.
+  Rng rng(37);
+  std::vector<int> counts(5, 0);
+  const int kTrials = 50000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (uint32_t x : rng.SampleWithoutReplacement(5, 2)) ++counts[x];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kTrials), 0.4, 0.01);
+  }
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, CopyForksStream) {
+  Rng a(GetParam());
+  a.NextU64();
+  Rng b = a;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 1234567ULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace bslrec

@@ -1,0 +1,153 @@
+#include "sampling/negative_sampler.h"
+
+#include <vector>
+
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace bslrec {
+namespace {
+
+Dataset MediumDataset(uint64_t seed = 1) {
+  SyntheticConfig c;
+  c.num_users = 60;
+  c.num_items = 100;
+  c.avg_items_per_user = 15.0;
+  c.seed = seed;
+  return GenerateSynthetic(c).dataset;
+}
+
+TEST(UniformSampler, NeverReturnsTrainPositives) {
+  const Dataset d = MediumDataset();
+  UniformNegativeSampler sampler(d);
+  Rng rng(2);
+  std::vector<uint32_t> out;
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    sampler.Sample(u, 50, rng, out);
+    ASSERT_EQ(out.size(), 50u);
+    for (uint32_t j : out) {
+      EXPECT_LT(j, d.num_items());
+      EXPECT_FALSE(d.IsTrainPositive(u, j));
+    }
+  }
+}
+
+TEST(UniformSampler, ClearsOutputVector) {
+  const Dataset d = MediumDataset();
+  UniformNegativeSampler sampler(d);
+  Rng rng(3);
+  std::vector<uint32_t> out = {999, 999};
+  sampler.Sample(0, 5, rng, out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(UniformSampler, CoversNegativeSpace) {
+  const Dataset d = testing::TinyDataset();
+  UniformNegativeSampler sampler(d);
+  Rng rng(4);
+  std::vector<uint32_t> out;
+  std::vector<int> seen(d.num_items(), 0);
+  sampler.Sample(0, 2000, rng, out);
+  for (uint32_t j : out) ++seen[j];
+  // User 0's train positives are {0, 1}; all other items should appear.
+  EXPECT_EQ(seen[0], 0);
+  EXPECT_EQ(seen[1], 0);
+  for (uint32_t i = 2; i < 6; ++i) EXPECT_GT(seen[i], 0) << "item " << i;
+}
+
+TEST(PopularitySampler, PrefersPopularItems) {
+  // Build a dataset where item 0 is hugely popular.
+  std::vector<Edge> train;
+  for (uint32_t u = 1; u < 50; ++u) train.push_back({u, 0});
+  for (uint32_t u = 0; u < 50; ++u) train.push_back({u, 1 + u % 9});
+  const Dataset d(50, 10, std::move(train), {});
+  PopularityNegativeSampler sampler(d, /*beta=*/1.0);
+  Rng rng(5);
+  std::vector<uint32_t> out;
+  std::vector<int> counts(10, 0);
+  // User 0 never interacted with item 0, so it is a valid negative.
+  for (int r = 0; r < 200; ++r) {
+    sampler.Sample(0, 10, rng, out);
+    for (uint32_t j : out) ++counts[j];
+  }
+  int max_other = 0;
+  for (uint32_t i = 2; i < 10; ++i) max_other = std::max(max_other, counts[i]);
+  EXPECT_GT(counts[0], 3 * max_other);
+}
+
+TEST(PopularitySampler, StillExcludesPositives) {
+  const Dataset d = MediumDataset();
+  PopularityNegativeSampler sampler(d, 0.75);
+  Rng rng(6);
+  std::vector<uint32_t> out;
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    sampler.Sample(u, 30, rng, out);
+    for (uint32_t j : out) EXPECT_FALSE(d.IsTrainPositive(u, j));
+  }
+}
+
+TEST(NoisySampler, ZeroNoiseMatchesUniformBehavior) {
+  const Dataset d = MediumDataset();
+  NoisyNegativeSampler sampler(d, 0.0);
+  Rng rng(7);
+  std::vector<uint32_t> out;
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    sampler.Sample(u, 40, rng, out);
+    for (uint32_t j : out) EXPECT_FALSE(d.IsTrainPositive(u, j));
+  }
+}
+
+class NoisySamplerRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoisySamplerRateSweep, FalseNegativeRateMatchesOdds) {
+  const double r_noise = GetParam();
+  const Dataset d = MediumDataset(9);
+  NoisyNegativeSampler sampler(d, r_noise);
+  Rng rng(8);
+  std::vector<uint32_t> out;
+  size_t positives = 0, total = 0;
+  double expected_rate_sum = 0.0;
+  size_t users = 0;
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    const double n_pos = static_cast<double>(d.TrainItems(u).size());
+    const double n_neg = static_cast<double>(d.num_items()) - n_pos;
+    expected_rate_sum += r_noise * n_pos / (r_noise * n_pos + n_neg);
+    ++users;
+    sampler.Sample(u, 400, rng, out);
+    for (uint32_t j : out) {
+      ++total;
+      if (d.IsTrainPositive(u, j)) ++positives;
+    }
+  }
+  const double observed = static_cast<double>(positives) / total;
+  const double expected = expected_rate_sum / users;
+  EXPECT_NEAR(observed, expected, 0.02) << "r_noise=" << r_noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, NoisySamplerRateSweep,
+                         ::testing::Values(0.5, 1.0, 3.0, 5.0, 10.0));
+
+TEST(NoisySampler, HigherOddsMoreFalseNegatives) {
+  const Dataset d = MediumDataset(10);
+  Rng rng(11);
+  std::vector<uint32_t> out;
+  const auto rate = [&](double r) {
+    NoisyNegativeSampler sampler(d, r);
+    Rng local(12);
+    size_t pos = 0, total = 0;
+    for (uint32_t u = 0; u < d.num_users(); ++u) {
+      sampler.Sample(u, 200, local, out);
+      for (uint32_t j : out) {
+        ++total;
+        if (d.IsTrainPositive(u, j)) ++pos;
+      }
+    }
+    return static_cast<double>(pos) / total;
+  };
+  EXPECT_LT(rate(0.5), rate(3.0));
+  EXPECT_LT(rate(3.0), rate(10.0));
+}
+
+}  // namespace
+}  // namespace bslrec

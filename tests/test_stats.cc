@@ -1,0 +1,117 @@
+#include "math/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "math/rng.h"
+
+namespace bslrec {
+namespace {
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 10.0};
+  RunningStats s;
+  for (double x : v) s.Add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  // Population variance: mean of squared deviations.
+  double var = 0.0;
+  for (double x : v) var += (x - 4.0) * (x - 4.0);
+  var /= 5.0;
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.sample_variance(), var * 5.0 / 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableOnShiftedData) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(BatchStats, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0, 5.0, 5.0}), 0.0);
+  EXPECT_NEAR(Variance({1.0, -1.0}), 1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonPerfectAndInverse) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> z = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonConstantSideIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  // y = x^3 is perfectly rank-correlated but not linearly.
+  std::vector<double> x, y;
+  for (int i = -5; i <= 5; ++i) {
+    x.push_back(i);
+    y.push_back(i * i * i);
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 1.0);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> x = {1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> y = {10.0, 20.0, 20.0, 30.0};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  const std::vector<double> v = {-10.0, 0.05, 0.15, 0.15, 0.95, 10.0};
+  const auto h = Histogram(v, 0.0, 1.0, 10);
+  ASSERT_EQ(h.size(), 10u);
+  EXPECT_EQ(h[0], 2u);  // -10 clamped + 0.05
+  EXPECT_EQ(h[1], 2u);  // two 0.15s
+  EXPECT_EQ(h[9], 2u);  // 0.95 + 10 clamped
+  size_t total = 0;
+  for (size_t c : h) total += c;
+  EXPECT_EQ(total, v.size());
+}
+
+TEST(KlDivergenceTest, ZeroForIdenticalDistributions) {
+  EXPECT_NEAR(KlDivergence({0.2, 0.3, 0.5}, {0.2, 0.3, 0.5}), 0.0, 1e-12);
+}
+
+TEST(KlDivergenceTest, NonNegativeAndAsymmetric) {
+  const std::vector<double> p = {0.9, 0.1};
+  const std::vector<double> q = {0.5, 0.5};
+  const double pq = KlDivergence(p, q);
+  const double qp = KlDivergence(q, p);
+  EXPECT_GT(pq, 0.0);
+  EXPECT_GT(qp, 0.0);
+  EXPECT_NE(pq, qp);
+  // Known value: 0.9 log 1.8 + 0.1 log 0.2.
+  EXPECT_NEAR(pq, 0.9 * std::log(1.8) + 0.1 * std::log(0.2), 1e-12);
+}
+
+TEST(KlDivergenceTest, NormalizesUnnormalizedInput) {
+  EXPECT_NEAR(KlDivergence({2.0, 3.0, 5.0}, {0.2, 0.3, 0.5}), 0.0, 1e-12);
+}
+
+TEST(KlDivergenceTest, ZeroInPHandled) {
+  EXPECT_NEAR(KlDivergence({0.0, 1.0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace bslrec

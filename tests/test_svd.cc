@@ -1,0 +1,135 @@
+#include "graph/svd.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace bslrec {
+namespace {
+
+// Dense reconstruction U diag(S) V^T evaluated at (r, c).
+double Reconstruct(const SvdResult& svd, size_t r, size_t c) {
+  double acc = 0.0;
+  for (size_t k = 0; k < svd.singular.size(); ++k) {
+    acc += static_cast<double>(svd.u.At(r, k)) * svd.singular[k] *
+           svd.v.At(c, k);
+  }
+  return acc;
+}
+
+TEST(OrthonormalizeColumnsTest, ProducesOrthonormalColumns) {
+  Rng rng(1);
+  Matrix m(20, 5);
+  m.InitGaussian(rng, 1.0f);
+  OrthonormalizeColumns(m, rng);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i; j < 5; ++j) {
+      double dot = 0.0;
+      for (size_t r = 0; r < 20; ++r) {
+        dot += static_cast<double>(m.At(r, i)) * m.At(r, j);
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-4) << i << "," << j;
+    }
+  }
+}
+
+TEST(OrthonormalizeColumnsTest, RecoversFromDependentColumns) {
+  Rng rng(2);
+  Matrix m(10, 3);
+  for (size_t r = 0; r < 10; ++r) {
+    const float v = static_cast<float>(rng.NextGaussian());
+    m.At(r, 0) = v;
+    m.At(r, 1) = 2.0f * v;  // linearly dependent
+    m.At(r, 2) = static_cast<float>(rng.NextGaussian());
+  }
+  OrthonormalizeColumns(m, rng);
+  for (size_t i = 0; i < 3; ++i) {
+    double norm = 0.0;
+    for (size_t r = 0; r < 10; ++r) {
+      norm += static_cast<double>(m.At(r, i)) * m.At(r, i);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+  }
+}
+
+TEST(TruncatedSvdTest, ExactlyRecoversLowRankMatrix) {
+  // Build a rank-2 matrix from two outer products and verify a rank-2 SVD
+  // reconstructs it (up to float tolerance).
+  const size_t rows = 12, cols = 9;
+  Rng rng(3);
+  std::vector<float> u1(rows), u2(rows), v1(cols), v2(cols);
+  for (auto& x : u1) x = static_cast<float>(rng.NextGaussian());
+  for (auto& x : u2) x = static_cast<float>(rng.NextGaussian());
+  for (auto& x : v1) x = static_cast<float>(rng.NextGaussian());
+  for (auto& x : v2) x = static_cast<float>(rng.NextGaussian());
+
+  std::vector<uint32_t> rr, cc;
+  std::vector<float> vals;
+  std::vector<std::vector<double>> dense(rows, std::vector<double>(cols));
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      const double value = 3.0 * u1[r] * v1[c] + 1.5 * u2[r] * v2[c];
+      dense[r][c] = value;
+      rr.push_back(r);
+      cc.push_back(c);
+      vals.push_back(static_cast<float>(value));
+    }
+  }
+  const SparseMatrix a(rows, cols, rr, cc, vals);
+  Rng svd_rng(4);
+  const SvdResult svd = TruncatedSvd(a, 2, 4, svd_rng);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      EXPECT_NEAR(Reconstruct(svd, r, c), dense[r][c], 5e-3)
+          << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(TruncatedSvdTest, SingularValuesDescending) {
+  Rng rng(5);
+  std::vector<uint32_t> rr, cc;
+  std::vector<float> vals;
+  for (int k = 0; k < 200; ++k) {
+    rr.push_back(static_cast<uint32_t>(rng.NextIndex(30)));
+    cc.push_back(static_cast<uint32_t>(rng.NextIndex(25)));
+    vals.push_back(static_cast<float>(rng.NextGaussian()));
+  }
+  const SparseMatrix a(30, 25, rr, cc, vals);
+  const SvdResult svd = TruncatedSvd(a, 6, 3, rng);
+  ASSERT_EQ(svd.singular.size(), 6u);
+  for (size_t k = 1; k < svd.singular.size(); ++k) {
+    EXPECT_GE(svd.singular[k - 1], svd.singular[k] - 1e-5f);
+  }
+  for (float s : svd.singular) EXPECT_GE(s, 0.0f);
+}
+
+TEST(TruncatedSvdTest, FactorsAreOrthonormal) {
+  Rng rng(6);
+  std::vector<uint32_t> rr, cc;
+  std::vector<float> vals;
+  for (int k = 0; k < 150; ++k) {
+    rr.push_back(static_cast<uint32_t>(rng.NextIndex(20)));
+    cc.push_back(static_cast<uint32_t>(rng.NextIndex(20)));
+    vals.push_back(static_cast<float>(rng.NextGaussian()));
+  }
+  const SparseMatrix a(20, 20, rr, cc, vals);
+  const SvdResult svd = TruncatedSvd(a, 4, 4, rng);
+  const auto check_orthonormal = [](const Matrix& m) {
+    for (size_t i = 0; i < m.cols(); ++i) {
+      for (size_t j = i; j < m.cols(); ++j) {
+        double dot = 0.0;
+        for (size_t r = 0; r < m.rows(); ++r) {
+          dot += static_cast<double>(m.At(r, i)) * m.At(r, j);
+        }
+        EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 5e-3);
+      }
+    }
+  };
+  check_orthonormal(svd.u);
+  check_orthonormal(svd.v);
+}
+
+}  // namespace
+}  // namespace bslrec

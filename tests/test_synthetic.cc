@@ -1,0 +1,165 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "math/vec.h"
+
+namespace bslrec {
+namespace {
+
+SyntheticConfig SmallConfig(uint64_t seed = 1) {
+  SyntheticConfig c;
+  c.num_users = 80;
+  c.num_items = 60;
+  c.num_clusters = 4;
+  c.avg_items_per_user = 12.0;
+  c.seed = seed;
+  return c;
+}
+
+TEST(Synthetic, DeterministicGivenSeed) {
+  const SyntheticData a = GenerateSynthetic(SmallConfig(7));
+  const SyntheticData b = GenerateSynthetic(SmallConfig(7));
+  ASSERT_EQ(a.dataset.num_train(), b.dataset.num_train());
+  for (size_t k = 0; k < a.dataset.train_edges().size(); ++k) {
+    EXPECT_EQ(a.dataset.train_edges()[k].user,
+              b.dataset.train_edges()[k].user);
+    EXPECT_EQ(a.dataset.train_edges()[k].item,
+              b.dataset.train_edges()[k].item);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const SyntheticData a = GenerateSynthetic(SmallConfig(1));
+  const SyntheticData b = GenerateSynthetic(SmallConfig(2));
+  bool any_diff = a.dataset.num_train() != b.dataset.num_train();
+  if (!any_diff) {
+    for (size_t k = 0; k < a.dataset.train_edges().size(); ++k) {
+      if (a.dataset.train_edges()[k].item != b.dataset.train_edges()[k].item) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, ShapesAndSplit) {
+  const SyntheticConfig c = SmallConfig();
+  const SyntheticData d = GenerateSynthetic(c);
+  EXPECT_EQ(d.dataset.num_users(), c.num_users);
+  EXPECT_EQ(d.dataset.num_items(), c.num_items);
+  EXPECT_EQ(d.item_cluster.size(), c.num_items);
+  EXPECT_EQ(d.user_latent.rows(), c.num_users);
+  EXPECT_EQ(d.item_latent.rows(), c.num_items);
+  // Roughly 20% of interactions are held out.
+  const double test_frac =
+      static_cast<double>(d.dataset.num_test()) /
+      static_cast<double>(d.dataset.num_test() + d.dataset.num_train());
+  EXPECT_NEAR(test_frac, c.test_fraction, 0.05);
+}
+
+TEST(Synthetic, EveryUserHasTrainItems) {
+  const SyntheticData d = GenerateSynthetic(SmallConfig());
+  for (uint32_t u = 0; u < d.dataset.num_users(); ++u) {
+    EXPECT_FALSE(d.dataset.TrainItems(u).empty()) << "user " << u;
+  }
+}
+
+TEST(Synthetic, LatentsAreUnitNorm) {
+  const SyntheticData d = GenerateSynthetic(SmallConfig());
+  for (uint32_t u = 0; u < d.dataset.num_users(); ++u) {
+    EXPECT_NEAR(vec::Norm(d.user_latent.Row(u), d.user_latent.cols()), 1.0f,
+                1e-4f);
+  }
+  for (uint32_t i = 0; i < d.dataset.num_items(); ++i) {
+    EXPECT_NEAR(vec::Norm(d.item_latent.Row(i), d.item_latent.cols()), 1.0f,
+                1e-4f);
+  }
+}
+
+TEST(Synthetic, PopularityIsLongTailed) {
+  SyntheticConfig c = SmallConfig();
+  c.num_users = 300;
+  c.num_items = 200;
+  c.zipf_alpha = 1.1;
+  const SyntheticData d = GenerateSynthetic(c);
+  std::vector<uint32_t> pop = d.dataset.item_popularity();
+  std::sort(pop.begin(), pop.end(), std::greater<>());
+  const uint64_t total = std::accumulate(pop.begin(), pop.end(), 0ULL);
+  uint64_t head = 0;
+  for (size_t i = 0; i < pop.size() / 5; ++i) head += pop[i];
+  // Top 20% of items should hold well over a proportional share.
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.35);
+}
+
+TEST(Synthetic, InteractionsFollowPreference) {
+  // Mean latent affinity of observed pairs should clearly exceed the
+  // affinity of random pairs.
+  const SyntheticData d = GenerateSynthetic(SmallConfig(3));
+  const size_t dim = d.user_latent.cols();
+  double observed = 0.0;
+  for (const Edge& e : d.dataset.train_edges()) {
+    observed += vec::Dot(d.user_latent.Row(e.user),
+                         d.item_latent.Row(e.item), dim);
+  }
+  observed /= static_cast<double>(d.dataset.num_train());
+
+  Rng rng(4);
+  double random_mean = 0.0;
+  const int kPairs = 5000;
+  for (int k = 0; k < kPairs; ++k) {
+    const uint32_t u =
+        static_cast<uint32_t>(rng.NextIndex(d.dataset.num_users()));
+    const uint32_t i =
+        static_cast<uint32_t>(rng.NextIndex(d.dataset.num_items()));
+    random_mean +=
+        vec::Dot(d.user_latent.Row(u), d.item_latent.Row(i), dim);
+  }
+  random_mean /= kPairs;
+  EXPECT_GT(observed, random_mean + 0.1);
+}
+
+TEST(Synthetic, PositiveNoiseRateAddsOffPreferenceItems) {
+  SyntheticConfig clean = SmallConfig(5);
+  clean.positive_noise_rate = 0.0;
+  SyntheticConfig noisy = clean;
+  noisy.positive_noise_rate = 0.4;
+  const SyntheticData a = GenerateSynthetic(clean);
+  const SyntheticData b = GenerateSynthetic(noisy);
+  const size_t dim = a.user_latent.cols();
+  const auto mean_affinity = [dim](const SyntheticData& d) {
+    double acc = 0.0;
+    for (const Edge& e : d.dataset.train_edges()) {
+      acc += vec::Dot(d.user_latent.Row(e.user), d.item_latent.Row(e.item),
+                      dim);
+    }
+    return acc / static_cast<double>(d.dataset.num_train());
+  };
+  EXPECT_GT(mean_affinity(a), mean_affinity(b));
+}
+
+TEST(SyntheticPresets, DensityOrderingMatchesPaper) {
+  // Table I: MovieLens is by far the densest, Amazon the sparsest.
+  const SyntheticData ml = GenerateSynthetic(Movielens1MSynth());
+  const SyntheticData yelp = GenerateSynthetic(Yelp18Synth());
+  const SyntheticData gowalla = GenerateSynthetic(GowallaSynth());
+  const SyntheticData amazon = GenerateSynthetic(AmazonSynth());
+  EXPECT_GT(ml.dataset.TrainDensity(), yelp.dataset.TrainDensity());
+  EXPECT_GT(yelp.dataset.TrainDensity(), amazon.dataset.TrainDensity());
+  EXPECT_GT(gowalla.dataset.TrainDensity(), amazon.dataset.TrainDensity());
+}
+
+TEST(SyntheticPresets, AllPresetsGenerate) {
+  for (const SyntheticConfig& c : AllPresets(11)) {
+    const SyntheticData d = GenerateSynthetic(c);
+    EXPECT_GT(d.dataset.num_train(), 1000u) << c.name;
+    EXPECT_GT(d.dataset.num_test(), 200u) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace bslrec

@@ -1,0 +1,209 @@
+#include "train/trainer.h"
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "models/mf.h"
+#include "test_util.h"
+
+namespace bslrec {
+namespace {
+
+SyntheticData TrainData(uint64_t seed = 1) {
+  SyntheticConfig c;
+  c.num_users = 120;
+  c.num_items = 90;
+  c.num_clusters = 6;
+  c.avg_items_per_user = 14.0;
+  c.seed = seed;
+  return GenerateSynthetic(c);
+}
+
+TrainConfig FastConfig() {
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 512;
+  cfg.num_negatives = 16;
+  cfg.lr = 0.05;
+  cfg.eval_every = 4;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Trainer, TrainingImprovesOverInitialization) {
+  const SyntheticData data = TrainData();
+  Rng rng(2);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 16, rng);
+  SoftmaxLoss loss(0.15);
+  UniformNegativeSampler sampler(data.dataset);
+  Trainer trainer(data.dataset, model, loss, sampler, FastConfig());
+  const TopKMetrics before = trainer.Evaluate();
+  const TrainResult result = trainer.Train();
+  EXPECT_GT(result.best.ndcg, before.ndcg + 0.02);
+  EXPECT_GT(result.best.recall, before.recall);
+}
+
+TEST(Trainer, LossDecreasesAcrossEpochs) {
+  const SyntheticData data = TrainData(3);
+  Rng rng(4);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 16, rng);
+  SoftmaxLoss loss(0.15);
+  UniformNegativeSampler sampler(data.dataset);
+  Trainer trainer(data.dataset, model, loss, sampler, FastConfig());
+  const TrainResult result = trainer.Train();
+  ASSERT_GE(result.history.size(), 4u);
+  EXPECT_LT(result.history.back().avg_loss, result.history.front().avg_loss);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const SyntheticData data = TrainData(5);
+  const auto run = [&]() {
+    Rng rng(6);
+    MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8, rng);
+    SoftmaxLoss loss(0.2);
+    UniformNegativeSampler sampler(data.dataset);
+    TrainConfig cfg = FastConfig();
+    cfg.epochs = 3;
+    Trainer trainer(data.dataset, model, loss, sampler, cfg);
+    return trainer.Train();
+  };
+  const TrainResult a = run();
+  const TrainResult b = run();
+  EXPECT_DOUBLE_EQ(a.best.ndcg, b.best.ndcg);
+  EXPECT_DOUBLE_EQ(a.best.recall, b.best.recall);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t k = 0; k < a.history.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.history[k].avg_loss, b.history[k].avg_loss);
+  }
+}
+
+TEST(Trainer, HistoryHasOneEntryPerEpoch) {
+  const SyntheticData data = TrainData(7);
+  Rng rng(8);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8, rng);
+  BprLoss loss;
+  UniformNegativeSampler sampler(data.dataset);
+  TrainConfig cfg = FastConfig();
+  cfg.epochs = 5;
+  Trainer trainer(data.dataset, model, loss, sampler, cfg);
+  const TrainResult result = trainer.Train();
+  EXPECT_EQ(result.history.size(), 5u);
+  for (size_t k = 0; k < result.history.size(); ++k) {
+    EXPECT_EQ(result.history[k].epoch, static_cast<int>(k) + 1);
+    EXPECT_TRUE(std::isfinite(result.history[k].avg_loss));
+  }
+}
+
+TEST(Trainer, EarlyStoppingCutsRunShort) {
+  const SyntheticData data = TrainData(9);
+  Rng rng(10);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8, rng);
+  SoftmaxLoss loss(0.15);
+  UniformNegativeSampler sampler(data.dataset);
+  TrainConfig cfg = FastConfig();
+  cfg.epochs = 60;
+  cfg.eval_every = 1;
+  cfg.early_stop_patience = 2;
+  Trainer trainer(data.dataset, model, loss, sampler, cfg);
+  const TrainResult result = trainer.Train();
+  EXPECT_LT(result.history.size(), 60u);
+  EXPECT_GE(result.best_epoch, 1);
+}
+
+TEST(Trainer, ZeroEpochsStillReportsMetrics) {
+  const SyntheticData data = TrainData(11);
+  Rng rng(12);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8, rng);
+  MseLoss loss;
+  UniformNegativeSampler sampler(data.dataset);
+  TrainConfig cfg = FastConfig();
+  cfg.epochs = 0;
+  Trainer trainer(data.dataset, model, loss, sampler, cfg);
+  const TrainResult result = trainer.Train();
+  EXPECT_GT(result.best.num_users, 0u);
+  EXPECT_TRUE(result.history.empty());
+}
+
+TEST(Trainer, InBatchModeTrainsAndImproves) {
+  // Algorithm 2: other batch positives act as negatives. Must train to a
+  // comparable quality as sampled negatives on the same data.
+  const SyntheticData data = TrainData(15);
+  Rng rng(16);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 16, rng);
+  SoftmaxLoss loss(0.4);
+  UniformNegativeSampler sampler(data.dataset);  // unused in this mode
+  TrainConfig cfg = FastConfig();
+  cfg.sampling_mode = SamplingMode::kInBatch;
+  cfg.batch_size = 256;
+  Trainer trainer(data.dataset, model, loss, sampler, cfg);
+  const TopKMetrics before = trainer.Evaluate();
+  const TrainResult result = trainer.Train();
+  EXPECT_GT(result.best.ndcg, before.ndcg + 0.02);
+}
+
+TEST(Trainer, InBatchLogQCorrectionHelpsOnSkewedData) {
+  // In-batch negatives are popularity-biased; the logQ correction must
+  // not hurt, and on skewed data it should help.
+  SyntheticConfig c;
+  c.num_users = 300;
+  c.num_items = 400;
+  c.num_clusters = 12;
+  c.avg_items_per_user = 15.0;
+  c.zipf_alpha = 1.1;
+  c.seed = 21;
+  const Dataset data = GenerateSynthetic(c).dataset;
+  const auto run = [&](double logq_tau) {
+    Rng rng(22);
+    MfModel model(data.num_users(), data.num_items(), 16, rng);
+    SoftmaxLoss loss(0.6);
+    UniformNegativeSampler sampler(data);
+    TrainConfig cfg = FastConfig();
+    cfg.sampling_mode = SamplingMode::kInBatch;
+    cfg.batch_size = 256;
+    cfg.epochs = 10;
+    cfg.inbatch_logq_tau = logq_tau;
+    Trainer trainer(data, model, loss, sampler, cfg);
+    return trainer.Train().best.ndcg;
+  };
+  EXPECT_GT(run(0.6), run(0.0));
+}
+
+TEST(Trainer, InBatchDeterministicAndLossFinite) {
+  const SyntheticData data = TrainData(17);
+  const auto run = [&]() {
+    Rng rng(18);
+    MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8,
+                  rng);
+    SoftmaxLoss loss(0.4);
+    UniformNegativeSampler sampler(data.dataset);
+    TrainConfig cfg = FastConfig();
+    cfg.sampling_mode = SamplingMode::kInBatch;
+    cfg.batch_size = 128;
+    cfg.epochs = 3;
+    Trainer trainer(data.dataset, model, loss, sampler, cfg);
+    return trainer.Train();
+  };
+  const TrainResult a = run();
+  const TrainResult b = run();
+  EXPECT_DOUBLE_EQ(a.best.ndcg, b.best.ndcg);
+  for (const EpochStats& e : a.history) {
+    EXPECT_TRUE(std::isfinite(e.avg_loss));
+  }
+}
+
+TEST(Trainer, RunEpochReturnsFiniteStats) {
+  const SyntheticData data = TrainData(13);
+  Rng rng(14);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8, rng);
+  BceLoss loss;
+  UniformNegativeSampler sampler(data.dataset);
+  Trainer trainer(data.dataset, model, loss, sampler, FastConfig());
+  const EpochStats stats = trainer.RunEpoch(1);
+  EXPECT_EQ(stats.epoch, 1);
+  EXPECT_TRUE(std::isfinite(stats.avg_loss));
+  EXPECT_DOUBLE_EQ(stats.avg_aux_loss, 0.0);  // MF has no aux objective
+}
+
+}  // namespace
+}  // namespace bslrec

@@ -1,0 +1,94 @@
+#include "analysis/tsne.h"
+
+#include <cmath>
+
+#include "analysis/embedding_analysis.h"
+#include "gtest/gtest.h"
+#include "math/rng.h"
+
+namespace bslrec {
+namespace {
+
+// Two well-separated Gaussian blobs in 10-D.
+Matrix TwoBlobs(size_t per_blob, std::vector<uint32_t>& labels, uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(2 * per_blob, 10);
+  labels.assign(2 * per_blob, 0);
+  for (size_t i = 0; i < 2 * per_blob; ++i) {
+    const bool second = i >= per_blob;
+    labels[i] = second ? 1 : 0;
+    for (size_t k = 0; k < 10; ++k) {
+      const double center = (k == 0) ? (second ? 6.0 : -6.0) : 0.0;
+      points.At(i, k) = static_cast<float>(center + rng.NextGaussian() * 0.5);
+    }
+  }
+  return points;
+}
+
+TEST(Tsne, OutputShape) {
+  std::vector<uint32_t> labels;
+  const Matrix points = TwoBlobs(20, labels, 1);
+  TsneConfig cfg;
+  cfg.iterations = 120;
+  const Matrix y = RunTsne(points, cfg);
+  EXPECT_EQ(y.rows(), points.rows());
+  EXPECT_EQ(y.cols(), 2u);
+  for (size_t k = 0; k < y.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(y.data()[k]));
+  }
+}
+
+TEST(Tsne, DeterministicGivenSeed) {
+  std::vector<uint32_t> labels;
+  const Matrix points = TwoBlobs(15, labels, 2);
+  TsneConfig cfg;
+  cfg.iterations = 60;
+  const Matrix a = RunTsne(points, cfg);
+  const Matrix b = RunTsne(points, cfg);
+  for (size_t k = 0; k < a.size(); ++k) {
+    EXPECT_FLOAT_EQ(a.data()[k], b.data()[k]);
+  }
+}
+
+TEST(Tsne, SeparatedBlobsStaySeparated) {
+  std::vector<uint32_t> labels;
+  const Matrix points = TwoBlobs(30, labels, 3);
+  TsneConfig cfg;
+  cfg.perplexity = 10.0;  // local structure: blobs of 30
+  cfg.iterations = 400;
+  const Matrix y = RunTsne(points, cfg);
+  // The 2-D embedding of two far-apart blobs must keep a clearly positive
+  // silhouette (t-SNE stretches clusters, so 1.0 is not expected).
+  EXPECT_GT(SilhouetteScore(y, labels), 0.4);
+}
+
+TEST(Tsne, MapIsCentered) {
+  std::vector<uint32_t> labels;
+  const Matrix points = TwoBlobs(20, labels, 4);
+  TsneConfig cfg;
+  cfg.iterations = 100;
+  const Matrix y = RunTsne(points, cfg);
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < y.rows(); ++i) {
+    mx += y.At(i, 0);
+    my += y.At(i, 1);
+  }
+  EXPECT_NEAR(mx / y.rows(), 0.0, 1e-3);
+  EXPECT_NEAR(my / y.rows(), 0.0, 1e-3);
+}
+
+TEST(Tsne, PerplexityClampedForTinyInputs) {
+  // 6 points with default perplexity 30 must not crash or NaN.
+  Rng rng(5);
+  Matrix points(6, 4);
+  points.InitGaussian(rng, 1.0f);
+  TsneConfig cfg;
+  cfg.iterations = 50;
+  const Matrix y = RunTsne(points, cfg);
+  for (size_t k = 0; k < y.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(y.data()[k]));
+  }
+}
+
+}  // namespace
+}  // namespace bslrec

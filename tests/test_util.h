@@ -1,0 +1,74 @@
+// Shared helpers for the bslrec test suite.
+#ifndef BSLREC_TESTS_TEST_UTIL_H_
+#define BSLREC_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/losses.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "math/rng.h"
+
+namespace bslrec::testing {
+
+// Finite-difference gradient check of a LossFunction against its analytic
+// gradients at the given score point. Verifies both dL/df+ and dL/df-_j
+// with central differences.
+inline void CheckLossGradients(const LossFunction& loss, float pos_score,
+                               std::vector<float> neg_scores,
+                               double abs_tol = 2e-4) {
+  const size_t n = neg_scores.size();
+  std::vector<float> d_neg(n, 0.0f);
+  float d_pos = 0.0f;
+  loss.Compute(pos_score, neg_scores, &d_pos, d_neg);
+
+  const float eps = 1e-3f;
+  std::vector<float> scratch(n, 0.0f);
+  float unused = 0.0f;
+
+  const double lp =
+      loss.Compute(pos_score + eps, neg_scores, &unused, scratch);
+  const double lm =
+      loss.Compute(pos_score - eps, neg_scores, &unused, scratch);
+  EXPECT_NEAR((lp - lm) / (2.0 * eps), d_pos, abs_tol)
+      << loss.name() << ": dL/df+ mismatch";
+
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<float> bumped = neg_scores;
+    bumped[j] += eps;
+    const double ljp = loss.Compute(pos_score, bumped, &unused, scratch);
+    bumped[j] -= 2.0f * eps;
+    const double ljm = loss.Compute(pos_score, bumped, &unused, scratch);
+    EXPECT_NEAR((ljp - ljm) / (2.0 * eps), d_neg[j], abs_tol)
+        << loss.name() << ": dL/df-[" << j << "] mismatch";
+  }
+}
+
+// Tiny deterministic dataset: 4 users x 6 items.
+//   u0: train {0,1}, test {2}
+//   u1: train {2,3}, test {4}
+//   u2: train {4,5}, test {0}
+//   u3: train {0,5}, test {3}
+inline Dataset TinyDataset() {
+  std::vector<Edge> train = {{0, 0}, {0, 1}, {1, 2}, {1, 3},
+                             {2, 4}, {2, 5}, {3, 0}, {3, 5}};
+  std::vector<Edge> test = {{0, 2}, {1, 4}, {2, 0}, {3, 3}};
+  return Dataset(4, 6, std::move(train), std::move(test));
+}
+
+// Random score vectors for property sweeps.
+inline std::vector<float> RandomScores(size_t n, Rng& rng, float lo = -1.0f,
+                                       float hi = 1.0f) {
+  std::vector<float> s(n);
+  for (auto& x : s) {
+    x = lo + (hi - lo) * static_cast<float>(rng.NextDouble());
+  }
+  return s;
+}
+
+}  // namespace bslrec::testing
+
+#endif  // BSLREC_TESTS_TEST_UTIL_H_

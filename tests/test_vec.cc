@@ -1,0 +1,154 @@
+#include "math/vec.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "math/rng.h"
+
+namespace bslrec {
+namespace {
+
+TEST(Vec, DotBasic) {
+  const float a[] = {1.0f, 2.0f, 3.0f};
+  const float b[] = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(vec::Dot(a, b, 3), 4.0f - 10.0f + 18.0f);
+  EXPECT_FLOAT_EQ(vec::Dot(a, b, 0), 0.0f);
+}
+
+TEST(Vec, AxpyAccumulates) {
+  const float x[] = {1.0f, -1.0f};
+  float y[] = {10.0f, 20.0f};
+  vec::Axpy(2.0f, x, y, 2);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 18.0f);
+}
+
+TEST(Vec, ScaleAndFill) {
+  float x[] = {1.0f, 2.0f, 3.0f};
+  vec::Scale(x, 3, -2.0f);
+  EXPECT_FLOAT_EQ(x[1], -4.0f);
+  vec::Fill(x, 3, 7.0f);
+  for (float v : x) EXPECT_FLOAT_EQ(v, 7.0f);
+}
+
+TEST(Vec, NormAndNormalize) {
+  const float x[] = {3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(vec::Norm(x, 2), 5.0f);
+  float out[2];
+  const float n = vec::Normalize(x, out, 2);
+  EXPECT_FLOAT_EQ(n, 5.0f);
+  EXPECT_FLOAT_EQ(out[0], 0.6f);
+  EXPECT_FLOAT_EQ(out[1], 0.8f);
+}
+
+TEST(Vec, NormalizeZeroVectorIsSafe) {
+  const float x[] = {0.0f, 0.0f, 0.0f};
+  float out[3];
+  const float n = vec::Normalize(x, out, 3);
+  EXPECT_FLOAT_EQ(n, 0.0f);
+  for (float v : out) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Vec, NormalizeInPlaceAliasing) {
+  float x[] = {0.0f, 2.0f};
+  vec::Normalize(x, x, 2);
+  EXPECT_FLOAT_EQ(x[1], 1.0f);
+}
+
+TEST(Vec, CosineProperties) {
+  const float a[] = {1.0f, 0.0f};
+  const float b[] = {0.0f, 2.0f};
+  const float c[] = {-3.0f, 0.0f};
+  EXPECT_NEAR(vec::Cosine(a, b, 2), 0.0, 1e-6);
+  EXPECT_NEAR(vec::Cosine(a, c, 2), -1.0, 1e-6);
+  EXPECT_NEAR(vec::Cosine(a, a, 2), 1.0, 1e-6);
+  const float zero[] = {0.0f, 0.0f};
+  EXPECT_FLOAT_EQ(vec::Cosine(a, zero, 2), 0.0f);
+}
+
+TEST(Vec, AddSubSquaredDistance) {
+  const float a[] = {1.0f, 2.0f};
+  const float b[] = {4.0f, 6.0f};
+  float out[2];
+  vec::Sub(a, b, out, 2);
+  EXPECT_FLOAT_EQ(out[0], -3.0f);
+  vec::Add(a, b, out, 2);
+  EXPECT_FLOAT_EQ(out[1], 8.0f);
+  EXPECT_FLOAT_EQ(vec::SquaredDistance(a, b, 2), 9.0f + 16.0f);
+}
+
+TEST(Vec, LogSumExpMatchesNaiveOnSmallValues) {
+  const float x[] = {0.1f, -0.5f, 0.7f};
+  double naive = std::log(std::exp(0.1) + std::exp(-0.5) + std::exp(0.7));
+  EXPECT_NEAR(vec::LogSumExp(x, 3), naive, 1e-6);
+}
+
+TEST(Vec, LogSumExpStableForLargeValues) {
+  const float x[] = {1000.0f, 1000.0f};
+  const double r = vec::LogSumExp(x, 2);
+  EXPECT_NEAR(r, 1000.0 + std::log(2.0), 1e-3);
+  EXPECT_FALSE(std::isinf(r));
+}
+
+TEST(Vec, SoftmaxSumsToOneAndOrders) {
+  const float x[] = {1.0f, 2.0f, 3.0f};
+  float out[3];
+  vec::Softmax(x, out, 3);
+  EXPECT_NEAR(out[0] + out[1] + out[2], 1.0, 1e-6);
+  EXPECT_LT(out[0], out[1]);
+  EXPECT_LT(out[1], out[2]);
+  // Ratio property: out[2]/out[1] == e^{1}.
+  EXPECT_NEAR(out[2] / out[1], std::exp(1.0), 1e-4);
+}
+
+TEST(Vec, SoftmaxStableForExtremeValues) {
+  const float x[] = {-2000.0f, 0.0f, 2000.0f};
+  float out[3];
+  vec::Softmax(x, out, 3);
+  EXPECT_NEAR(out[2], 1.0, 1e-6);
+  EXPECT_FALSE(std::isnan(out[0]));
+}
+
+// Finite-difference check of the cosine gradient helper: f(u) = cos(u, i).
+TEST(Vec, AccumulateCosineGradMatchesFiniteDifference) {
+  Rng rng(99);
+  const size_t d = 8;
+  std::vector<float> u(d), i(d);
+  for (auto& v : u) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : i) v = static_cast<float>(rng.NextGaussian());
+
+  std::vector<float> u_hat(d), i_hat(d);
+  const float u_norm = vec::Normalize(u.data(), u_hat.data(), d);
+  vec::Normalize(i.data(), i_hat.data(), d);
+  const float score = vec::Dot(u_hat.data(), i_hat.data(), d);
+
+  std::vector<float> grad(d, 0.0f);
+  vec::AccumulateCosineGrad(u_hat.data(), i_hat.data(), score, u_norm, 1.0f,
+                            grad.data(), d);
+
+  const float eps = 1e-3f;
+  for (size_t k = 0; k < d; ++k) {
+    std::vector<float> up = u, um = u;
+    up[k] += eps;
+    um[k] -= eps;
+    const float fp = vec::Cosine(up.data(), i.data(), d);
+    const float fm = vec::Cosine(um.data(), i.data(), d);
+    EXPECT_NEAR((fp - fm) / (2.0f * eps), grad[k], 2e-3f) << "dim " << k;
+  }
+}
+
+TEST(Vec, AccumulateCosineGradScalesWithCoeff) {
+  const size_t d = 4;
+  std::vector<float> u = {1.0f, 0.0f, 0.0f, 0.0f};
+  std::vector<float> i = {0.0f, 1.0f, 0.0f, 0.0f};
+  std::vector<float> g1(d, 0.0f), g2(d, 0.0f);
+  vec::AccumulateCosineGrad(u.data(), i.data(), 0.0f, 1.0f, 1.0f, g1.data(),
+                            d);
+  vec::AccumulateCosineGrad(u.data(), i.data(), 0.0f, 1.0f, -2.5f, g2.data(),
+                            d);
+  for (size_t k = 0; k < d; ++k) EXPECT_FLOAT_EQ(g2[k], -2.5f * g1[k]);
+}
+
+}  // namespace
+}  // namespace bslrec
