@@ -33,6 +33,7 @@ int main() {
   std::printf("%-12s%12s%16s%18s\n", "loss", "NDCG@20", "exposure Gini",
               "tail-half share");
   bb::PrintRule(58);
+  const bslrec::Evaluator eval(data, 20);
   for (LossKind l : losses) {
     bslrec::Rng rng(41);
     bslrec::MfModel model(data.num_users(), data.num_items(), 16, rng);
@@ -46,10 +47,10 @@ int main() {
     bslrec::Trainer trainer(data, model, *loss, sampler,
                             bb::DefaultTrainConfig());
     const auto result = trainer.Train();
-    const bslrec::Evaluator eval(data, 20);
-    const double gini =
-        bslrec::GiniCoefficient(eval.ItemExposure(model));
-    const auto groups = eval.GroupNdcg(model, 10);
+    // One pass: both queries share the scored+ranked top-20 lists.
+    bslrec::Evaluator::Pass pass = eval.BeginPass(model);
+    const double gini = bslrec::GiniCoefficient(pass.ItemExposure());
+    const auto groups = pass.GroupNdcg(10);
     double tail = 0.0, total = 0.0;
     for (size_t g = 0; g < groups.size(); ++g) {
       total += groups[g];

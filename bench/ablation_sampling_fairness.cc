@@ -39,6 +39,7 @@ int main() {
   for (int g = 1; g <= 10; ++g) std::printf("  grp%02d", g);
   std::printf("%9s\n", "NDCG@20");
   bb::PrintRule(100);
+  const bslrec::Evaluator eval(data, 20);
   for (const Arm& arm : arms) {
     bslrec::Rng rng(17);
     bslrec::MfModel model(data.num_users(), data.num_items(), 16, rng);
@@ -46,7 +47,6 @@ int main() {
     bslrec::Trainer trainer(data, model, loss, *arm.sampler,
                             bb::DefaultTrainConfig());
     const auto result = trainer.Train();
-    const bslrec::Evaluator eval(data, 20);
     const auto groups = eval.GroupNdcg(model, 10);
     std::printf("%-16s", arm.label);
     for (double g : groups) std::printf("%7.4f", g);

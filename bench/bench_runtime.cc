@@ -1,0 +1,162 @@
+// Parallel-runtime throughput bench: wall-clock for the threaded
+// evaluator and trainer at 1 / 2 / hardware threads, plus a check that
+// the results stay bit-identical across worker counts (the runtime's
+// core guarantee). Emits machine-readable BENCH_runtime.json into the
+// working directory.
+//
+// BSLREC_FAST=1 shrinks the dataset and repetitions for CI.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/losses.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/mf.h"
+#include "runtime/thread_pool.h"
+#include "sampling/negative_sampler.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace bslrec;  // NOLINT: bench-local convenience
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct EvalPoint {
+  size_t threads;
+  double ms_per_pass;
+  double ndcg;
+};
+
+struct TrainPoint {
+  size_t threads;
+  double samples_per_sec;
+  double first_epoch_loss;
+};
+
+std::vector<size_t> ThreadCounts() {
+  // Always measure 2 workers, even on a single-core host: the point is
+  // to exercise the threaded path and the bit-identical probe; speedup
+  // only materializes where the cores do.
+  const size_t hw = runtime::ResolveNumThreads(0);
+  std::vector<size_t> counts = {1, 2};
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = bench::FastMode();
+  SyntheticConfig cfg;
+  cfg.num_users = fast ? 400 : 1500;
+  cfg.num_items = fast ? 300 : 1200;
+  cfg.num_clusters = 10;
+  cfg.avg_items_per_user = 18.0;
+  cfg.seed = 77;
+  const Dataset data = GenerateSynthetic(cfg).dataset;
+  const size_t dim = fast ? 16 : 48;
+  const int eval_reps = fast ? 2 : 5;
+
+  std::printf("runtime bench: %u users, %u items, %zu train edges, dim %zu\n",
+              data.num_users(), data.num_items(), data.num_train(), dim);
+
+  // ---- evaluator: ms per full-ranking pass per thread count ----
+  std::vector<EvalPoint> eval_points;
+  {
+    Rng rng(5);
+    MfModel model(data.num_users(), data.num_items(), dim, rng);
+    model.Forward(rng);
+    for (size_t threads : ThreadCounts()) {
+      const Evaluator eval(data, 20, runtime::RuntimeConfig{threads});
+      TopKMetrics m = eval.Evaluate(model);  // warm-up + correctness probe
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < eval_reps; ++r) m = eval.Evaluate(model);
+      const double ms = SecondsSince(t0) * 1000.0 / eval_reps;
+      eval_points.push_back({threads, ms, m.ndcg});
+      std::printf("evaluator  threads=%zu  %.1f ms/pass  ndcg %.6f\n",
+                  threads, ms, m.ndcg);
+    }
+  }
+
+  // ---- trainer: samples/sec over one epoch per thread count ----
+  std::vector<TrainPoint> train_points;
+  for (size_t threads : ThreadCounts()) {
+    Rng rng(6);
+    MfModel model(data.num_users(), data.num_items(), dim, rng);
+    BilateralSoftmaxLoss loss(0.2, 0.25);
+    UniformNegativeSampler sampler(data);
+    TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 1024;
+    tc.num_negatives = fast ? 16 : 64;
+    tc.seed = 99;
+    tc.runtime.num_threads = threads;
+    Trainer trainer(data, model, loss, sampler, tc);
+    const auto t0 = std::chrono::steady_clock::now();
+    const EpochStats stats = trainer.RunEpoch(1);
+    const double secs = SecondsSince(t0);
+    const double sps = static_cast<double>(data.num_train()) / secs;
+    train_points.push_back({threads, sps, stats.avg_loss});
+    std::printf("trainer    threads=%zu  %.0f samples/sec  loss %.6f\n",
+                threads, sps, stats.avg_loss);
+  }
+
+  // ---- determinism probe: results must match the 1-thread baseline ----
+  bool identical = true;
+  for (const EvalPoint& p : eval_points) {
+    identical = identical && p.ndcg == eval_points[0].ndcg;
+  }
+  for (const TrainPoint& p : train_points) {
+    identical = identical && p.first_epoch_loss == train_points[0].first_epoch_loss;
+  }
+  std::printf("bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — BUG");
+
+  // ---- machine-readable output ----
+  FILE* out = std::fopen("BENCH_runtime.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_runtime.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
+               runtime::ResolveNumThreads(0));
+  std::fprintf(out,
+               "  \"dataset\": {\"users\": %u, \"items\": %u, "
+               "\"train_edges\": %zu, \"dim\": %zu},\n",
+               data.num_users(), data.num_items(), data.num_train(), dim);
+  std::fprintf(out, "  \"evaluator\": [\n");
+  for (size_t i = 0; i < eval_points.size(); ++i) {
+    const EvalPoint& p = eval_points[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"ms_per_pass\": %.3f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 p.threads, p.ms_per_pass,
+                 eval_points[0].ms_per_pass / p.ms_per_pass,
+                 i + 1 < eval_points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"trainer\": [\n");
+  for (size_t i = 0; i < train_points.size(); ++i) {
+    const TrainPoint& p = train_points[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"samples_per_sec\": %.1f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 p.threads, p.samples_per_sec,
+                 p.samples_per_sec / train_points[0].samples_per_sec,
+                 i + 1 < train_points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"bit_identical\": %s\n", identical ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_runtime.json\n");
+  return identical ? 0 : 1;
+}

@@ -36,6 +36,7 @@ int main() {
   for (int g = 1; g <= 10; ++g) std::printf("   grp%02d", g);
   std::printf("\n");
   bb::PrintRule(92);
+  const bslrec::Evaluator eval(data, 20);
   for (LossKind l : losses) {
     const bslrec::BipartiteGraph graph(data);
     bslrec::Rng rng(5);
@@ -47,7 +48,6 @@ int main() {
     bslrec::Trainer trainer(data, model, *loss, sampler,
                             bb::DefaultTrainConfig());
     trainer.Train();
-    const bslrec::Evaluator eval(data, 20);
     const auto groups = eval.GroupNdcg(model, 10);
     std::printf("%-8s", LossKindName(l).data());
     for (double g : groups) std::printf("%8.4f", g);

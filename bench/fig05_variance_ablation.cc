@@ -37,6 +37,7 @@ int main() {
   bb::PrintRule(100);
 
   std::vector<std::vector<double>> group_rows;
+  const bslrec::Evaluator eval(data, 20);
   for (const Variant& v : variants) {
     bslrec::Rng rng(3);
     bslrec::MfModel model(data.num_users(), data.num_items(), 16, rng);
@@ -47,7 +48,6 @@ int main() {
     bslrec::Trainer trainer(data, model, *loss, sampler,
                             bb::DefaultTrainConfig());
     trainer.Train();
-    const bslrec::Evaluator eval(data, 20);
     const auto groups = eval.GroupNdcg(model, 10);
     group_rows.push_back(groups);
     std::printf("%-20s", v.label);

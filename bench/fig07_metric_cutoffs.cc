@@ -35,6 +35,7 @@ int main() {
 
   for (const auto& cfg : bslrec::AllPresets()) {
     const bslrec::Dataset data = bslrec::GenerateSynthetic(cfg).dataset;
+    const bslrec::Evaluator eval(data, 20);
     bb::PrintHeader("Figure 7 on " + cfg.name + " (NDCG@K)");
     std::printf("%-10s", "model");
     for (uint32_t k : cutoffs) std::printf("     @%-4u", k);
@@ -59,10 +60,11 @@ int main() {
       }
       bslrec::Trainer trainer(data, *model, *loss, sampler, tcfg);
       trainer.Train();
-      const bslrec::Evaluator eval(data, 20);
+      // One pass: the normalized item table is shared across cutoffs.
+      bslrec::Evaluator::Pass pass = eval.BeginPass(*model);
       std::printf("%-10s", row.label);
       for (uint32_t k : cutoffs) {
-        std::printf("  %8.4f", eval.EvaluateAtK(*model, k).ndcg);
+        std::printf("  %8.4f", pass.EvaluateAtK(k).ndcg);
       }
       std::printf("\n");
     }

@@ -4,6 +4,9 @@
 // experiment harnesses depend on.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -101,6 +104,133 @@ void BM_NoisySampler(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_NoisySampler);
+
+// Naive scalar references for the blocked vec kernels: the pre-blocking
+// single-accumulator forms, kept here so BM_Dot/blocked vs BM_Dot/naive
+// (etc.) quantifies what the unrolled multi-accumulator loops buy.
+namespace naive {
+
+float Dot(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) acc += static_cast<double>(a[k]) * b[k];
+  return static_cast<float>(acc);
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t k = 0; k < n; ++k) y[k] += alpha * x[k];
+}
+
+float Normalize(const float* x, float* out, size_t n, float eps = 1e-12f) {
+  const float norm = std::sqrt(std::max(0.0f, Dot(x, x, n)));
+  const float inv = 1.0f / std::max(norm, eps);
+  for (size_t k = 0; k < n; ++k) out[k] = x[k] * inv;
+  return norm;
+}
+
+double LogSumExp(const float* x, size_t n) {
+  float max_x = x[0];
+  for (size_t k = 1; k < n; ++k) max_x = std::max(max_x, x[k]);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += std::exp(static_cast<double>(x[k]) - max_x);
+  }
+  return static_cast<double>(max_x) + std::log(acc);
+}
+
+}  // namespace naive
+
+std::vector<float> GaussianVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+void BM_DotBlocked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = GaussianVec(n, 11), b = GaussianVec(n, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::Dot(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DotBlocked)->Arg(16)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_DotNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = GaussianVec(n, 11), b = GaussianVec(n, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::Dot(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DotNaive)->Arg(16)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_AxpyBlocked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = GaussianVec(n, 13);
+  auto y = GaussianVec(n, 14);
+  for (auto _ : state) {
+    vec::Axpy(0.25f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AxpyBlocked)->Arg(64)->Arg(4096);
+
+void BM_AxpyNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = GaussianVec(n, 13);
+  auto y = GaussianVec(n, 14);
+  for (auto _ : state) {
+    naive::Axpy(0.25f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AxpyNaive)->Arg(64)->Arg(4096);
+
+void BM_NormalizeBlocked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = GaussianVec(n, 15);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::Normalize(x.data(), out.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NormalizeBlocked)->Arg(64)->Arg(4096);
+
+void BM_NormalizeNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = GaussianVec(n, 15);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::Normalize(x.data(), out.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NormalizeNaive)->Arg(64)->Arg(4096);
+
+void BM_LogSumExpBlocked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = MakeScores(n, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::LogSumExp(x.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LogSumExpBlocked)->Arg(64)->Arg(4096);
+
+void BM_LogSumExpNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = MakeScores(n, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::LogSumExp(x.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LogSumExpNaive)->Arg(64)->Arg(4096);
 
 void BM_CosineScore(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));

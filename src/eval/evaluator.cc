@@ -3,35 +3,171 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <span>
 
 #include "math/check.h"
 #include "math/vec.h"
 
 namespace bslrec {
+namespace {
 
-Evaluator::Evaluator(const Dataset& data, uint32_t k) : data_(data), k_(k) {
+// Users per shard in the parallel per-user loops. Fixed (independent of
+// the worker count) so per-shard outputs reduce deterministically; small
+// enough that ranking-heavy shards still load-balance.
+constexpr size_t kEvalGrain = 8;
+
+}  // namespace
+
+Evaluator::Evaluator(const Dataset& data, uint32_t k,
+                     runtime::RuntimeConfig runtime)
+    : data_(data),
+      k_(k),
+      test_users_(data.TestUsers()),
+      owned_pool_(
+          std::make_unique<runtime::ThreadPool>(runtime.num_threads)),
+      pool_(owned_pool_.get()) {
   BSLREC_CHECK(k > 0);
 }
 
-Matrix Evaluator::NormalizeItems(const EmbeddingModel& model) const {
-  const size_t d = model.dim();
-  Matrix normed(data_.num_items(), d);
-  for (uint32_t i = 0; i < data_.num_items(); ++i) {
-    vec::Normalize(model.ItemEmb(i), normed.Row(i), d);
-  }
-  return normed;
+Evaluator::Evaluator(const Dataset& data, uint32_t k,
+                     runtime::ThreadPool* pool)
+    : data_(data), k_(k), test_users_(data.TestUsers()), pool_(pool) {
+  BSLREC_CHECK(k > 0);
+  BSLREC_CHECK(pool != nullptr);
 }
 
-void Evaluator::ScoreUser(const EmbeddingModel& model,
-                          const Matrix& item_normed, uint32_t user,
-                          std::vector<float>& scores) const {
+Evaluator::Pass::Pass(const Evaluator& eval, const EmbeddingModel& model)
+    : eval_(eval),
+      model_(model),
+      item_normed_(eval.data_.num_items(), model.dim()),
+      scratch_(eval.pool_->num_workers()) {
   const size_t d = model.dim();
-  std::vector<float> u_normed(d);
-  vec::Normalize(model.UserEmb(user), u_normed.data(), d);
-  scores.resize(data_.num_items());
-  for (uint32_t i = 0; i < data_.num_items(); ++i) {
-    scores[i] = vec::Dot(u_normed.data(), item_normed.Row(i), d);
+  // Normalize the item table once per pass; rows are independent, so the
+  // parallel fill is trivially bit-identical for any worker count.
+  runtime::ParallelFor(
+      *eval_.pool_, 0, eval_.data_.num_items(), 256,
+      [&](size_t lo, size_t hi, size_t /*shard*/, size_t /*worker*/) {
+        for (size_t i = lo; i < hi; ++i) {
+          vec::Normalize(model.ItemEmb(static_cast<uint32_t>(i)),
+                         item_normed_.Row(i), d);
+        }
+      });
+  for (WorkerScratch& ws : scratch_) {
+    ws.scores.resize(eval_.data_.num_items());
+    ws.u_hat.resize(d);
   }
+}
+
+void Evaluator::Pass::ScoreUser(uint32_t user, WorkerScratch& ws) {
+  const size_t d = model_.dim();
+  vec::Normalize(model_.UserEmb(user), ws.u_hat.data(), d);
+  for (uint32_t i = 0; i < eval_.data_.num_items(); ++i) {
+    ws.scores[i] = vec::Dot(ws.u_hat.data(), item_normed_.Row(i), d);
+  }
+}
+
+template <typename Fn>
+void Evaluator::Pass::ForEachTestUser(Fn&& fn) {
+  runtime::ParallelFor(
+      *eval_.pool_, 0, eval_.test_users_.size(), kEvalGrain,
+      [&](size_t lo, size_t hi, size_t /*shard*/, size_t worker) {
+        WorkerScratch& ws = scratch_[worker];
+        for (size_t t = lo; t < hi; ++t) {
+          const uint32_t u = eval_.test_users_[t];
+          ScoreUser(u, ws);
+          fn(t, u, ws.scores);
+        }
+      });
+}
+
+std::vector<std::vector<uint32_t>> Evaluator::Pass::ComputeRankings(
+    uint32_t k) {
+  std::vector<std::vector<uint32_t>> rankings(eval_.test_users_.size());
+  ForEachTestUser([&](size_t t, uint32_t u, const std::vector<float>& scores) {
+    rankings[t] = eval_.RankTopK(scores, u, k);
+  });
+  return rankings;
+}
+
+const std::vector<std::vector<uint32_t>>&
+Evaluator::Pass::RankingsAtDefaultK() {
+  if (!rankings_cached_) {
+    rankings_k_ = ComputeRankings(eval_.k_);
+    rankings_cached_ = true;
+  }
+  return rankings_k_;
+}
+
+TopKMetrics Evaluator::Pass::MetricsOverRankings(
+    const std::vector<std::vector<uint32_t>>& rankings, uint32_t k) {
+  // Serial aggregation in test-user order: bit-identical for any worker
+  // count (the parallelism lives in the ranking computation). Rankings
+  // longer than k are truncated — the sorted lists have the prefix
+  // property, so the first k entries of a top-k' list (k <= k') are
+  // exactly the top-k ranking.
+  TopKMetrics agg;
+  for (size_t t = 0; t < rankings.size(); ++t) {
+    const auto test_items = eval_.data_.TestItems(eval_.test_users_[t]);
+    const std::span<const uint32_t> ranking(
+        rankings[t].data(),
+        std::min<size_t>(k, rankings[t].size()));
+    agg.recall += RecallAtK(ranking, test_items);
+    agg.ndcg += NdcgAtK(ranking, test_items, k);
+    agg.precision += PrecisionAtK(ranking, test_items, k);
+    agg.hit_rate += HitAtK(ranking, test_items);
+    ++agg.num_users;
+  }
+  if (agg.num_users > 0) {
+    const double n = static_cast<double>(agg.num_users);
+    agg.recall /= n;
+    agg.ndcg /= n;
+    agg.precision /= n;
+    agg.hit_rate /= n;
+  }
+  return agg;
+}
+
+TopKMetrics Evaluator::Pass::Evaluate() { return EvaluateAtK(eval_.k_); }
+
+TopKMetrics Evaluator::Pass::EvaluateAtK(uint32_t k) {
+  // Cutoffs <= k() are served from the cached top-k() rankings (prefix
+  // property); only larger cutoffs need a fresh scoring pass.
+  if (k <= eval_.k_) return MetricsOverRankings(RankingsAtDefaultK(), k);
+  return MetricsOverRankings(ComputeRankings(k), k);
+}
+
+std::vector<double> Evaluator::Pass::GroupNdcg(uint32_t num_groups) {
+  const std::vector<uint32_t> item_group =
+      eval_.data_.PopularityGroups(num_groups);
+  const std::vector<std::vector<uint32_t>>& rankings = RankingsAtDefaultK();
+  std::vector<double> acc(num_groups, 0.0);
+  for (size_t t = 0; t < rankings.size(); ++t) {
+    const auto test_items = eval_.data_.TestItems(eval_.test_users_[t]);
+    AccumulateGroupNdcg(rankings[t], test_items, eval_.k_, item_group, acc);
+  }
+  if (!rankings.empty()) {
+    for (double& x : acc) x /= static_cast<double>(rankings.size());
+  }
+  return acc;
+}
+
+std::vector<uint32_t> Evaluator::Pass::TopKForUser(uint32_t user) {
+  WorkerScratch& ws = scratch_[0];
+  ScoreUser(user, ws);
+  return eval_.RankTopK(ws.scores, user, eval_.k_);
+}
+
+std::vector<double> Evaluator::Pass::ItemExposure() {
+  const std::vector<std::vector<uint32_t>>& rankings = RankingsAtDefaultK();
+  std::vector<double> exposure(eval_.data_.num_items(), 0.0);
+  for (const std::vector<uint32_t>& ranking : rankings) {
+    for (uint32_t item : ranking) exposure[item] += 1.0;
+  }
+  return exposure;
+}
+
+Evaluator::Pass Evaluator::BeginPass(const EmbeddingModel& model) const {
+  return Pass(*this, model);
 }
 
 std::vector<uint32_t> Evaluator::RankTopK(const std::vector<float>& scores,
@@ -61,74 +197,26 @@ std::vector<uint32_t> Evaluator::RankTopK(const std::vector<float>& scores,
 }
 
 TopKMetrics Evaluator::Evaluate(const EmbeddingModel& model) const {
-  return EvaluateAtK(model, k_);
+  return BeginPass(model).Evaluate();
 }
 
 TopKMetrics Evaluator::EvaluateAtK(const EmbeddingModel& model,
                                    uint32_t k) const {
-  const Matrix item_normed = NormalizeItems(model);
-  TopKMetrics agg;
-  std::vector<float> scores;
-  for (uint32_t u = 0; u < data_.num_users(); ++u) {
-    const auto test_items = data_.TestItems(u);
-    if (test_items.empty()) continue;
-    ScoreUser(model, item_normed, u, scores);
-    const std::vector<uint32_t> ranking = RankTopK(scores, u, k);
-    agg.recall += RecallAtK(ranking, test_items);
-    agg.ndcg += NdcgAtK(ranking, test_items, k);
-    agg.precision += PrecisionAtK(ranking, test_items, k);
-    agg.hit_rate += HitAtK(ranking, test_items);
-    ++agg.num_users;
-  }
-  if (agg.num_users > 0) {
-    const double n = static_cast<double>(agg.num_users);
-    agg.recall /= n;
-    agg.ndcg /= n;
-    agg.precision /= n;
-    agg.hit_rate /= n;
-  }
-  return agg;
+  return BeginPass(model).EvaluateAtK(k);
 }
 
 std::vector<double> Evaluator::GroupNdcg(const EmbeddingModel& model,
                                          uint32_t num_groups) const {
-  const std::vector<uint32_t> item_group = data_.PopularityGroups(num_groups);
-  const Matrix item_normed = NormalizeItems(model);
-  std::vector<double> acc(num_groups, 0.0);
-  std::vector<float> scores;
-  size_t users = 0;
-  for (uint32_t u = 0; u < data_.num_users(); ++u) {
-    const auto test_items = data_.TestItems(u);
-    if (test_items.empty()) continue;
-    ScoreUser(model, item_normed, u, scores);
-    const std::vector<uint32_t> ranking = RankTopK(scores, u, k_);
-    AccumulateGroupNdcg(ranking, test_items, k_, item_group, acc);
-    ++users;
-  }
-  if (users > 0) {
-    for (double& x : acc) x /= static_cast<double>(users);
-  }
-  return acc;
+  return BeginPass(model).GroupNdcg(num_groups);
 }
 
 std::vector<uint32_t> Evaluator::TopKForUser(const EmbeddingModel& model,
                                              uint32_t user) const {
-  const Matrix item_normed = NormalizeItems(model);
-  std::vector<float> scores;
-  ScoreUser(model, item_normed, user, scores);
-  return RankTopK(scores, user, k_);
+  return BeginPass(model).TopKForUser(user);
 }
 
 std::vector<double> Evaluator::ItemExposure(const EmbeddingModel& model) const {
-  const Matrix item_normed = NormalizeItems(model);
-  std::vector<double> exposure(data_.num_items(), 0.0);
-  std::vector<float> scores;
-  for (uint32_t u = 0; u < data_.num_users(); ++u) {
-    if (data_.TestItems(u).empty()) continue;
-    ScoreUser(model, item_normed, u, scores);
-    for (uint32_t item : RankTopK(scores, u, k_)) exposure[item] += 1.0;
-  }
-  return exposure;
+  return BeginPass(model).ItemExposure();
 }
 
 }  // namespace bslrec

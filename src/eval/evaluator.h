@@ -5,56 +5,118 @@
 // positives, and average Recall@K / NDCG@K / Precision@K / HitRate@K over
 // users. Also provides the popularity-group NDCG decomposition behind the
 // fairness figures and raw top-K lists for analysis.
+//
+// Per-user scoring and ranking fan out across a runtime::ThreadPool.
+// Users are assigned to fixed shards and every per-user result lands in
+// its own output slot before a serial reduction, so all metrics are
+// bit-identical for any worker count (see runtime/thread_pool.h).
+//
+// An evaluation *pass* (`BeginPass`) snapshots the model's current final
+// embeddings once: the normalized item table and per-worker score
+// buffers are computed a single time and shared by every query on the
+// pass. The single-shot `Evaluate`/`GroupNdcg`/... wrappers each open a
+// one-query pass; callers issuing several queries against the same
+// model state should hold a pass instead.
 #ifndef BSLREC_EVAL_EVALUATOR_H_
 #define BSLREC_EVAL_EVALUATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "data/dataset.h"
 #include "eval/metrics.h"
 #include "models/model.h"
+#include "runtime/thread_pool.h"
 
 namespace bslrec {
 
 class Evaluator {
  public:
-  // `data` must outlive the evaluator.
-  Evaluator(const Dataset& data, uint32_t k);
+  // `data` must outlive the evaluator. The evaluator owns a pool sized
+  // from `runtime` (default: one worker per hardware thread).
+  Evaluator(const Dataset& data, uint32_t k,
+            runtime::RuntimeConfig runtime = {});
+  // Borrows an external pool (e.g. the trainer's) instead of owning
+  // one; `pool` must be non-null and outlive the evaluator.
+  Evaluator(const Dataset& data, uint32_t k, runtime::ThreadPool* pool);
 
   uint32_t k() const { return k_; }
 
-  // Aggregate metrics at cutoff k() over all users with test items.
+  // One evaluation pass over a fixed model state. The model's final
+  // embeddings must not change while the pass is alive.
+  class Pass {
+   public:
+    // Aggregate metrics at cutoff evaluator k() / an arbitrary cutoff.
+    TopKMetrics Evaluate();
+    TopKMetrics EvaluateAtK(uint32_t k);
+
+    // Mean per-group NDCG contributions over test users; summing the
+    // vector gives overall NDCG@k(). Larger group id = more popular.
+    std::vector<double> GroupNdcg(uint32_t num_groups);
+
+    // Top-k()-ranked items for one user (train positives masked).
+    std::vector<uint32_t> TopKForUser(uint32_t user);
+
+    // How often each item appears in the top-k() lists across all test
+    // users ("exposure"). Feed to GiniCoefficient for a concentration
+    // summary of the recommendation policy.
+    std::vector<double> ItemExposure();
+
+   private:
+    friend class Evaluator;
+    Pass(const Evaluator& eval, const EmbeddingModel& model);
+
+    struct WorkerScratch {
+      std::vector<float> scores;  // one score per catalog item
+      std::vector<float> u_hat;   // normalized user embedding
+    };
+
+    // Scores all items for `user` into ws.scores.
+    void ScoreUser(uint32_t user, WorkerScratch& ws);
+    // Runs fn(test_user_index, user, scores) for every user with test
+    // items, sharded deterministically across the pool.
+    template <typename Fn>
+    void ForEachTestUser(Fn&& fn);
+    // Parallel score+rank of every test user at cutoff k.
+    std::vector<std::vector<uint32_t>> ComputeRankings(uint32_t k);
+    // Cached ComputeRankings(k()): Evaluate/GroupNdcg/ItemExposure all
+    // consume the same rankings, so the O(users x items x dim) scoring
+    // runs once per pass no matter how many queries follow.
+    const std::vector<std::vector<uint32_t>>& RankingsAtDefaultK();
+    TopKMetrics MetricsOverRankings(
+        const std::vector<std::vector<uint32_t>>& rankings, uint32_t k);
+
+    const Evaluator& eval_;
+    const EmbeddingModel& model_;
+    Matrix item_normed_;  // normalized item table, computed once
+    std::vector<WorkerScratch> scratch_;  // one per pool worker
+    std::vector<std::vector<uint32_t>> rankings_k_;  // per test user
+    bool rankings_cached_ = false;
+  };
+
+  Pass BeginPass(const EmbeddingModel& model) const;
+
+  // Single-shot conveniences; each opens a fresh pass.
   TopKMetrics Evaluate(const EmbeddingModel& model) const;
-
-  // Metrics at an arbitrary cutoff (Fig 7 uses 5/10/15/20).
   TopKMetrics EvaluateAtK(const EmbeddingModel& model, uint32_t k) const;
-
-  // Mean per-group NDCG contributions over test users; summing the vector
-  // gives overall NDCG@k(). Larger group id = more popular items.
   std::vector<double> GroupNdcg(const EmbeddingModel& model,
                                 uint32_t num_groups) const;
-
-  // Top-k()-ranked items for a single user (train positives masked).
   std::vector<uint32_t> TopKForUser(const EmbeddingModel& model,
                                     uint32_t user) const;
-
-  // How often each item appears in the top-k() lists across all test
-  // users ("exposure"). Feed to GiniCoefficient for a concentration
-  // summary of the recommendation policy.
   std::vector<double> ItemExposure(const EmbeddingModel& model) const;
 
  private:
-  // Scores all items for `user` against the normalized item table.
-  void ScoreUser(const EmbeddingModel& model, const Matrix& item_normed,
-                 uint32_t user, std::vector<float>& scores) const;
+  friend class Pass;
+
   std::vector<uint32_t> RankTopK(const std::vector<float>& scores,
                                  uint32_t user, uint32_t k) const;
-  // Normalizes all item embeddings into a reusable table.
-  Matrix NormalizeItems(const EmbeddingModel& model) const;
 
   const Dataset& data_;
   uint32_t k_;
+  std::vector<uint32_t> test_users_;  // users with >= 1 test item
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;
+  runtime::ThreadPool* pool_;  // owned_pool_.get() or the borrowed pool
 };
 
 }  // namespace bslrec

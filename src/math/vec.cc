@@ -4,17 +4,41 @@
 #include <cmath>
 #include <limits>
 
+// The hot kernels below are written as unrolled/blocked loops with
+// multiple independent accumulators. Two properties are load-bearing:
+//   * Stability: reductions still accumulate in double (the original
+//     contract), so long rows don't lose low-order bits.
+//   * Determinism: the summation tree is a pure function of n — four
+//     fixed accumulator lanes combined in a fixed order — so results
+//     never depend on call context. The multi-threaded trainer and
+//     evaluator rely on this for their bit-identical-results guarantee.
+// The four-lane form breaks the serial dependency chain, which is what
+// lets the compiler keep the FP pipeline full and auto-vectorize.
+
 namespace bslrec::vec {
 
 float Dot(const float* a, const float* b, size_t n) {
-  // Accumulate in double to keep reductions stable for long rows.
-  double acc = 0.0;
-  for (size_t k = 0; k < n; ++k) acc += static_cast<double>(a[k]) * b[k];
-  return static_cast<float>(acc);
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc0 += static_cast<double>(a[k + 0]) * b[k + 0];
+    acc1 += static_cast<double>(a[k + 1]) * b[k + 1];
+    acc2 += static_cast<double>(a[k + 2]) * b[k + 2];
+    acc3 += static_cast<double>(a[k + 3]) * b[k + 3];
+  }
+  for (; k < n; ++k) acc0 += static_cast<double>(a[k]) * b[k];
+  return static_cast<float>((acc0 + acc1) + (acc2 + acc3));
 }
 
 void Axpy(float alpha, const float* x, float* y, size_t n) {
-  for (size_t k = 0; k < n; ++k) y[k] += alpha * x[k];
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    y[k + 0] += alpha * x[k + 0];
+    y[k + 1] += alpha * x[k + 1];
+    y[k + 2] += alpha * x[k + 2];
+    y[k + 3] += alpha * x[k + 3];
+  }
+  for (; k < n; ++k) y[k] += alpha * x[k];
 }
 
 void Scale(float* x, size_t n, float alpha) {
@@ -28,7 +52,14 @@ float Norm(const float* x, size_t n) {
 float Normalize(const float* x, float* out, size_t n, float eps) {
   const float norm = Norm(x, n);
   const float inv = 1.0f / std::max(norm, eps);
-  for (size_t k = 0; k < n; ++k) out[k] = x[k] * inv;
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    out[k + 0] = x[k + 0] * inv;
+    out[k + 1] = x[k + 1] * inv;
+    out[k + 2] = x[k + 2] * inv;
+    out[k + 3] = x[k + 3] * inv;
+  }
+  for (; k < n; ++k) out[k] = x[k] * inv;
   return norm;
 }
 
@@ -52,32 +83,66 @@ void Fill(float* x, size_t n, float v) {
 }
 
 float SquaredDistance(const float* a, const float* b, size_t n) {
-  double acc = 0.0;
-  for (size_t k = 0; k < n; ++k) {
-    const double d = static_cast<double>(a[k]) - b[k];
-    acc += d * d;
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const double d0 = static_cast<double>(a[k + 0]) - b[k + 0];
+    const double d1 = static_cast<double>(a[k + 1]) - b[k + 1];
+    const double d2 = static_cast<double>(a[k + 2]) - b[k + 2];
+    const double d3 = static_cast<double>(a[k + 3]) - b[k + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
   }
-  return static_cast<float>(acc);
+  for (; k < n; ++k) {
+    const double d = static_cast<double>(a[k]) - b[k];
+    acc0 += d * d;
+  }
+  return static_cast<float>((acc0 + acc1) + (acc2 + acc3));
 }
 
 void AccumulateCosineGrad(const float* u_hat, const float* i_hat, float score,
                           float u_norm, float coeff, float* grad_u, size_t n) {
   // d cos / d u = (i_hat - score * u_hat) / ||u||.
   const float inv = coeff / std::max(u_norm, 1e-12f);
-  for (size_t k = 0; k < n; ++k) {
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    grad_u[k + 0] += inv * (i_hat[k + 0] - score * u_hat[k + 0]);
+    grad_u[k + 1] += inv * (i_hat[k + 1] - score * u_hat[k + 1]);
+    grad_u[k + 2] += inv * (i_hat[k + 2] - score * u_hat[k + 2]);
+    grad_u[k + 3] += inv * (i_hat[k + 3] - score * u_hat[k + 3]);
+  }
+  for (; k < n; ++k) {
     grad_u[k] += inv * (i_hat[k] - score * u_hat[k]);
   }
 }
 
 double LogSumExp(const float* x, size_t n) {
   if (n == 0) return -std::numeric_limits<double>::infinity();
-  float max_x = x[0];
-  for (size_t k = 1; k < n; ++k) max_x = std::max(max_x, x[k]);
-  double acc = 0.0;
-  for (size_t k = 0; k < n; ++k) {
-    acc += std::exp(static_cast<double>(x[k]) - max_x);
+  // Blocked max scan (max is associative/commutative, so lane order is
+  // irrelevant), then a four-lane double exp-sum with a fixed tree.
+  float m0 = x[0], m1 = x[0], m2 = x[0], m3 = x[0];
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    m0 = std::max(m0, x[k + 0]);
+    m1 = std::max(m1, x[k + 1]);
+    m2 = std::max(m2, x[k + 2]);
+    m3 = std::max(m3, x[k + 3]);
   }
-  return static_cast<double>(max_x) + std::log(acc);
+  for (; k < n; ++k) m0 = std::max(m0, x[k]);
+  const float max_x = std::max(std::max(m0, m1), std::max(m2, m3));
+
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc0 += std::exp(static_cast<double>(x[k + 0]) - max_x);
+    acc1 += std::exp(static_cast<double>(x[k + 1]) - max_x);
+    acc2 += std::exp(static_cast<double>(x[k + 2]) - max_x);
+    acc3 += std::exp(static_cast<double>(x[k + 3]) - max_x);
+  }
+  for (; k < n; ++k) acc0 += std::exp(static_cast<double>(x[k]) - max_x);
+  return static_cast<double>(max_x) + std::log((acc0 + acc1) + (acc2 + acc3));
 }
 
 void Softmax(const float* x, float* out, size_t n) {

@@ -1,0 +1,36 @@
+// Execution-runtime configuration.
+//
+// Every parallel section in the library (trainer batches, evaluator
+// ranking, benches) is driven by a `ThreadPool` sized from this config.
+// The contract — enforced by the deterministic sharding in
+// runtime/thread_pool.h — is that *results never depend on the worker
+// count*: `num_threads = 8` produces bit-identical training histories and
+// metrics to `num_threads = 1`, only faster.
+#ifndef BSLREC_RUNTIME_RUNTIME_CONFIG_H_
+#define BSLREC_RUNTIME_RUNTIME_CONFIG_H_
+
+#include <cstddef>
+
+namespace bslrec::runtime {
+
+struct RuntimeConfig {
+  // Worker count for parallel sections, including the calling thread.
+  // 0 = one worker per hardware thread (std::thread::hardware_concurrency);
+  // 1 = fully serial execution on the calling thread (no threads spawned).
+  size_t num_threads = 0;
+};
+
+// Hard ceiling on the worker count. Requests beyond it (including
+// negative values laundered through size_t) are clamped; a pool this
+// wide is never useful for our workloads and an unchecked request
+// would try to spawn it.
+inline constexpr size_t kMaxThreads = 1024;
+
+// Resolves a requested worker count: returns `requested` clamped to
+// [1, kMaxThreads], or the hardware concurrency (at least 1) when
+// `requested` is 0.
+size_t ResolveNumThreads(size_t requested);
+
+}  // namespace bslrec::runtime
+
+#endif  // BSLREC_RUNTIME_RUNTIME_CONFIG_H_

@@ -8,6 +8,27 @@
 
 namespace bslrec {
 
+float* Trainer::GradSlot(SlotMap& map, uint64_t shard_tag,
+                         std::vector<uint32_t>& rows,
+                         std::vector<float>& vals, uint32_t row, size_t d) {
+  if (map.tag[row] != shard_tag) {
+    map.tag[row] = shard_tag;
+    map.slot[row] = static_cast<uint32_t>(rows.size());
+    rows.push_back(row);
+    vals.resize(vals.size() + d, 0.0f);
+  }
+  return vals.data() + static_cast<size_t>(map.slot[row]) * d;
+}
+
+void Trainer::BeginShard(WorkerScratch& ws, ShardGrad& out) {
+  ++ws.shard_tag;
+  out.user_rows.clear();
+  out.item_rows.clear();
+  out.user_vals.clear();
+  out.item_vals.clear();
+  out.loss_sum = 0.0;
+}
+
 Trainer::Trainer(const Dataset& data, EmbeddingModel& model,
                  const LossFunction& loss, const NegativeSampler& sampler,
                  const TrainConfig& config)
@@ -16,7 +37,10 @@ Trainer::Trainer(const Dataset& data, EmbeddingModel& model,
       loss_(loss),
       sampler_(sampler),
       config_(config),
-      evaluator_(data, config.metric_k),
+      pool_(std::make_unique<runtime::ThreadPool>(
+          config.runtime.num_threads)),
+      scratch_(pool_->num_workers()),
+      evaluator_(data, config.metric_k, pool_.get()),
       rng_(config.seed) {
   BSLREC_CHECK(config.epochs >= 0);
   BSLREC_CHECK(config.batch_size > 0 && config.num_negatives > 0);
@@ -28,54 +52,121 @@ Trainer::Trainer(const Dataset& data, EmbeddingModel& model,
     optimizer_ =
         std::make_unique<SgdOptimizer>(config.lr, config.weight_decay);
   }
+  const size_t d = model.dim();
+  const size_t n_neg = config.num_negatives;
+  for (WorkerScratch& ws : scratch_) {
+    ws.users.tag.assign(data.num_users(), 0);
+    ws.users.slot.assign(data.num_users(), 0);
+    ws.items.tag.assign(data.num_items(), 0);
+    ws.items.slot.assign(data.num_items(), 0);
+    ws.u_hat.resize(d);
+    ws.i_hat.resize(d);
+    ws.j_hat = Matrix(n_neg, d);
+    ws.j_norm.resize(n_neg);
+    ws.neg_scores.resize(n_neg);
+    ws.d_neg.resize(n_neg);
+  }
+}
+
+double Trainer::ReduceShards(size_t num_shards) {
+  const size_t d = model_.dim();
+  double loss_sum = 0.0;
+  for (size_t sh = 0; sh < num_shards; ++sh) {
+    const ShardGrad& g = shards_[sh];
+    for (size_t r = 0; r < g.user_rows.size(); ++r) {
+      vec::Axpy(1.0f, g.user_vals.data() + r * d,
+                model_.UserGrad(g.user_rows[r]), d);
+    }
+    for (size_t r = 0; r < g.item_rows.size(); ++r) {
+      vec::Axpy(1.0f, g.item_vals.data() + r * d,
+                model_.ItemGrad(g.item_rows[r]), d);
+    }
+    loss_sum += g.loss_sum;
+  }
+  return loss_sum;
 }
 
 double Trainer::AccumulateSampledLoss(const std::vector<Edge>& edges,
                                       size_t begin, size_t end) {
   const size_t d = model_.dim();
   const size_t n_neg = config_.num_negatives;
-  const float inv_batch = 1.0f / static_cast<float>(end - begin);
+  const size_t b = end - begin;
+  const float inv_batch = 1.0f / static_cast<float>(b);
 
-  std::vector<float> u_hat(d), i_hat(d);
-  Matrix j_hat(n_neg, d);
-  std::vector<float> j_norm(n_neg);
-  std::vector<float> neg_scores(n_neg), d_neg(n_neg);
-  std::vector<uint32_t> negs;
-
-  double loss_sum = 0.0;
-  for (size_t s = begin; s < end; ++s) {
-    const uint32_t u = edges[s].user;
-    const uint32_t i = edges[s].item;
-    sampler_.Sample(u, n_neg, rng_, negs);
-
-    const float u_norm = vec::Normalize(model_.UserEmb(u), u_hat.data(), d);
-    const float i_norm = vec::Normalize(model_.ItemEmb(i), i_hat.data(), d);
-    const float pos_score = vec::Dot(u_hat.data(), i_hat.data(), d);
-    for (size_t j = 0; j < n_neg; ++j) {
-      j_norm[j] = vec::Normalize(model_.ItemEmb(negs[j]), j_hat.Row(j), d);
-      neg_scores[j] = vec::Dot(u_hat.data(), j_hat.Row(j), d);
-    }
-
-    float d_pos = 0.0f;
-    loss_sum += loss_.Compute(pos_score, neg_scores, &d_pos,
-                              {d_neg.data(), n_neg});
-
-    // Chain rule through the cosine head (mean reduction over the batch).
-    const float d_pos_scaled = d_pos * inv_batch;
-    vec::AccumulateCosineGrad(u_hat.data(), i_hat.data(), pos_score, u_norm,
-                              d_pos_scaled, model_.UserGrad(u), d);
-    vec::AccumulateCosineGrad(i_hat.data(), u_hat.data(), pos_score, i_norm,
-                              d_pos_scaled, model_.ItemGrad(i), d);
-    for (size_t j = 0; j < n_neg; ++j) {
-      const float g = d_neg[j] * inv_batch;
-      if (g == 0.0f) continue;
-      vec::AccumulateCosineGrad(u_hat.data(), j_hat.Row(j), neg_scores[j],
-                                u_norm, g, model_.UserGrad(u), d);
-      vec::AccumulateCosineGrad(j_hat.Row(j), u_hat.data(), neg_scores[j],
-                                j_norm[j], g, model_.ItemGrad(negs[j]), d);
-    }
+  // Pre-draw every sample's negatives on the calling thread: the single
+  // RNG stream is consumed in serial sample order, so the drawn items —
+  // and therefore the whole training run — do not depend on the worker
+  // count.
+  batch_negs_.resize(b * n_neg);
+  for (size_t s = 0; s < b; ++s) {
+    sampler_.Sample(edges[begin + s].user, n_neg, rng_, sample_negs_);
+    std::copy(sample_negs_.begin(), sample_negs_.end(),
+              batch_negs_.begin() + s * n_neg);
   }
-  return loss_sum;
+
+  const size_t num_shards = (b + kSampledGrain - 1) / kSampledGrain;
+  if (shards_.size() < num_shards) shards_.resize(num_shards);
+  runtime::ParallelFor(
+      *pool_, 0, b, kSampledGrain,
+      [&](size_t lo, size_t hi, size_t shard, size_t worker) {
+        WorkerScratch& ws = scratch_[worker];
+        ShardGrad& out = shards_[shard];
+        BeginShard(ws, out);
+        for (size_t s = lo; s < hi; ++s) {
+          const uint32_t u = edges[begin + s].user;
+          const uint32_t i = edges[begin + s].item;
+          const uint32_t* negs = batch_negs_.data() + s * n_neg;
+
+          const float u_norm =
+              vec::Normalize(model_.UserEmb(u), ws.u_hat.data(), d);
+          const float i_norm =
+              vec::Normalize(model_.ItemEmb(i), ws.i_hat.data(), d);
+          const float pos_score =
+              vec::Dot(ws.u_hat.data(), ws.i_hat.data(), d);
+          for (size_t j = 0; j < n_neg; ++j) {
+            ws.j_norm[j] =
+                vec::Normalize(model_.ItemEmb(negs[j]), ws.j_hat.Row(j), d);
+            ws.neg_scores[j] = vec::Dot(ws.u_hat.data(), ws.j_hat.Row(j), d);
+          }
+
+          float d_pos = 0.0f;
+          out.loss_sum +=
+              loss_.Compute(pos_score, {ws.neg_scores.data(), n_neg}, &d_pos,
+                            {ws.d_neg.data(), n_neg});
+
+          // Chain rule through the cosine head (mean batch reduction).
+          const float d_pos_scaled = d_pos * inv_batch;
+          vec::AccumulateCosineGrad(
+              ws.u_hat.data(), ws.i_hat.data(), pos_score, u_norm,
+              d_pos_scaled,
+              GradSlot(ws.users, ws.shard_tag, out.user_rows, out.user_vals,
+                       u, d),
+              d);
+          vec::AccumulateCosineGrad(
+              ws.i_hat.data(), ws.u_hat.data(), pos_score, i_norm,
+              d_pos_scaled,
+              GradSlot(ws.items, ws.shard_tag, out.item_rows, out.item_vals,
+                       i, d),
+              d);
+          for (size_t j = 0; j < n_neg; ++j) {
+            const float g = ws.d_neg[j] * inv_batch;
+            if (g == 0.0f) continue;
+            vec::AccumulateCosineGrad(
+                ws.u_hat.data(), ws.j_hat.Row(j), ws.neg_scores[j], u_norm,
+                g,
+                GradSlot(ws.users, ws.shard_tag, out.user_rows,
+                         out.user_vals, u, d),
+                d);
+            vec::AccumulateCosineGrad(
+                ws.j_hat.Row(j), ws.u_hat.data(), ws.neg_scores[j],
+                ws.j_norm[j], g,
+                GradSlot(ws.items, ws.shard_tag, out.item_rows,
+                         out.item_vals, negs[j], d),
+                d);
+          }
+        }
+      });
+  return ReduceShards(num_shards);
 }
 
 double Trainer::AccumulateInBatchLoss(const std::vector<Edge>& edges,
@@ -86,15 +177,20 @@ double Trainer::AccumulateInBatchLoss(const std::vector<Edge>& edges,
   const float inv_batch = 1.0f / static_cast<float>(b);
 
   // Normalize every sample's user and item embedding once (Algorithm 2
-  // computes the full pairwise similarity matrix).
+  // computes the full pairwise similarity matrix). Rows are independent,
+  // so the parallel fill is bit-identical for any worker count.
   Matrix u_hat(b, d), i_hat(b, d);
   std::vector<float> u_norm(b), i_norm(b);
-  for (size_t s = 0; s < b; ++s) {
-    u_norm[s] = vec::Normalize(model_.UserEmb(edges[begin + s].user),
-                               u_hat.Row(s), d);
-    i_norm[s] = vec::Normalize(model_.ItemEmb(edges[begin + s].item),
-                               i_hat.Row(s), d);
-  }
+  runtime::ParallelFor(
+      *pool_, 0, b, 128,
+      [&](size_t lo, size_t hi, size_t /*shard*/, size_t /*worker*/) {
+        for (size_t s = lo; s < hi; ++s) {
+          u_norm[s] = vec::Normalize(model_.UserEmb(edges[begin + s].user),
+                                     u_hat.Row(s), d);
+          i_norm[s] = vec::Normalize(model_.ItemEmb(edges[begin + s].item),
+                                     i_hat.Row(s), d);
+        }
+      });
 
   // Optional sampled-softmax logQ correction: in-batch negatives appear
   // with probability proportional to popularity; subtracting
@@ -115,44 +211,70 @@ double Trainer::AccumulateInBatchLoss(const std::vector<Edge>& edges,
     }
   }
 
-  std::vector<float> neg_scores(b - 1), d_neg(b - 1);
-  double loss_sum = 0.0;
-  for (size_t s = 0; s < b; ++s) {
-    const uint32_t u = edges[begin + s].user;
-    const uint32_t i = edges[begin + s].item;
-    const float pos_score = vec::Dot(u_hat.Row(s), i_hat.Row(s), d);
-    // Other samples' positives are this sample's negatives (diagonal
-    // masked, duplicates kept — see SamplingMode docs).
-    size_t idx = 0;
-    for (size_t t = 0; t < b; ++t) {
-      if (t == s) continue;
-      neg_scores[idx++] =
-          vec::Dot(u_hat.Row(s), i_hat.Row(t), d) - logq_shift[t];
-    }
-    float d_pos = 0.0f;
-    loss_sum += loss_.Compute(pos_score, neg_scores, &d_pos,
-                              {d_neg.data(), b - 1});
+  const size_t num_shards = (b + kInBatchGrain - 1) / kInBatchGrain;
+  if (shards_.size() < num_shards) shards_.resize(num_shards);
+  runtime::ParallelFor(
+      *pool_, 0, b, kInBatchGrain,
+      [&](size_t lo, size_t hi, size_t shard, size_t worker) {
+        WorkerScratch& ws = scratch_[worker];
+        ShardGrad& out = shards_[shard];
+        BeginShard(ws, out);
+        if (ws.neg_scores.size() < b - 1) {
+          ws.neg_scores.resize(b - 1);
+          ws.d_neg.resize(b - 1);
+        }
+        for (size_t s = lo; s < hi; ++s) {
+          const uint32_t u = edges[begin + s].user;
+          const uint32_t i = edges[begin + s].item;
+          const float pos_score = vec::Dot(u_hat.Row(s), i_hat.Row(s), d);
+          // Other samples' positives are this sample's negatives
+          // (diagonal masked, duplicates kept — see SamplingMode docs).
+          size_t idx = 0;
+          for (size_t t = 0; t < b; ++t) {
+            if (t == s) continue;
+            ws.neg_scores[idx++] =
+                vec::Dot(u_hat.Row(s), i_hat.Row(t), d) - logq_shift[t];
+          }
+          float d_pos = 0.0f;
+          out.loss_sum +=
+              loss_.Compute(pos_score, {ws.neg_scores.data(), b - 1},
+                            &d_pos, {ws.d_neg.data(), b - 1});
 
-    const float d_pos_scaled = d_pos * inv_batch;
-    vec::AccumulateCosineGrad(u_hat.Row(s), i_hat.Row(s), pos_score,
-                              u_norm[s], d_pos_scaled, model_.UserGrad(u), d);
-    vec::AccumulateCosineGrad(i_hat.Row(s), u_hat.Row(s), pos_score,
-                              i_norm[s], d_pos_scaled, model_.ItemGrad(i), d);
-    idx = 0;
-    for (size_t t = 0; t < b; ++t) {
-      if (t == s) continue;
-      const float g = d_neg[idx] * inv_batch;
-      // Undo the logQ shift: the cosine chain rule needs the raw score.
-      const float score = neg_scores[idx] + logq_shift[t];
-      ++idx;
-      if (g == 0.0f) continue;
-      vec::AccumulateCosineGrad(u_hat.Row(s), i_hat.Row(t), score, u_norm[s],
-                                g, model_.UserGrad(u), d);
-      vec::AccumulateCosineGrad(i_hat.Row(t), u_hat.Row(s), score, i_norm[t],
-                                g, model_.ItemGrad(edges[begin + t].item), d);
-    }
-  }
-  return loss_sum;
+          const float d_pos_scaled = d_pos * inv_batch;
+          vec::AccumulateCosineGrad(
+              u_hat.Row(s), i_hat.Row(s), pos_score, u_norm[s],
+              d_pos_scaled,
+              GradSlot(ws.users, ws.shard_tag, out.user_rows, out.user_vals,
+                       u, d),
+              d);
+          vec::AccumulateCosineGrad(
+              i_hat.Row(s), u_hat.Row(s), pos_score, i_norm[s],
+              d_pos_scaled,
+              GradSlot(ws.items, ws.shard_tag, out.item_rows, out.item_vals,
+                       i, d),
+              d);
+          idx = 0;
+          for (size_t t = 0; t < b; ++t) {
+            if (t == s) continue;
+            const float g = ws.d_neg[idx] * inv_batch;
+            // Undo the logQ shift: the chain rule needs the raw score.
+            const float score = ws.neg_scores[idx] + logq_shift[t];
+            ++idx;
+            if (g == 0.0f) continue;
+            vec::AccumulateCosineGrad(
+                u_hat.Row(s), i_hat.Row(t), score, u_norm[s], g,
+                GradSlot(ws.users, ws.shard_tag, out.user_rows,
+                         out.user_vals, u, d),
+                d);
+            vec::AccumulateCosineGrad(
+                i_hat.Row(t), u_hat.Row(s), score, i_norm[t], g,
+                GradSlot(ws.items, ws.shard_tag, out.item_rows,
+                         out.item_vals, edges[begin + t].item, d),
+                d);
+          }
+        }
+      });
+  return ReduceShards(num_shards);
 }
 
 std::pair<double, double> Trainer::RunBatch(const std::vector<Edge>& edges,

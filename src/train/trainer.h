@@ -9,6 +9,15 @@
 //   5. adds contrastive aux gradients (SGL/SimGCL/LightGCL),
 //   6. backpropagates into parameters and steps the optimizer.
 //
+// Steps 2-4 — the per-sample score/gradient work that dominates the
+// epoch — fan out across a runtime::ThreadPool: the batch is split into
+// fixed-size sample shards, every worker accumulates gradients into
+// per-shard sparse buffers, and the shards are reduced into the model's
+// gradient tables serially in shard order. Negative sampling stays on
+// the calling thread (one RNG stream, serial draw order), so training
+// results are bit-identical for any `TrainConfig::runtime.num_threads`
+// (see runtime/thread_pool.h for the determinism contract).
+//
 // Evaluation runs every `eval_every` epochs on the held-out test split;
 // the best checkpoint metrics (by NDCG) are reported, emulating the
 // paper's early-stopping/grid protocol without storing weights.
@@ -16,12 +25,14 @@
 #define BSLREC_TRAIN_TRAINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/losses.h"
 #include "data/dataset.h"
 #include "eval/evaluator.h"
 #include "models/model.h"
+#include "runtime/thread_pool.h"
 #include "sampling/negative_sampler.h"
 #include "train/optimizer.h"
 
@@ -56,6 +67,9 @@ struct TrainConfig {
   uint32_t metric_k = 20;       // Recall@K / NDCG@K cutoff
   int early_stop_patience = 0;  // consecutive non-improving evals; 0 = off
   uint64_t seed = 123;
+  // Worker count for batch processing and evaluation. Results are
+  // bit-identical for any value; 1 runs fully serial.
+  runtime::RuntimeConfig runtime;
 };
 
 struct EpochStats {
@@ -91,22 +105,70 @@ class Trainer {
   Rng& rng() { return rng_; }
 
  private:
+  // Fixed samples-per-shard grains for the parallel batch loops. Shard
+  // boundaries must depend only on the batch size — never on the worker
+  // count — or results would change with num_threads.
+  static constexpr size_t kSampledGrain = 32;
+  static constexpr size_t kInBatchGrain = 16;
+
+  // Sparse partial gradients produced by one shard: the embedding rows
+  // its samples touched, in first-touch order, each with a d-wide
+  // accumulated gradient. Reduced into the model serially in shard
+  // order, which is what makes training thread-count invariant.
+  struct ShardGrad {
+    std::vector<uint32_t> user_rows, item_rows;
+    std::vector<float> user_vals, item_vals;  // rows.size() x dim, packed
+    double loss_sum = 0.0;
+  };
+
+  // Epoch-tagged row -> shard-slot map (no O(rows) clearing per shard).
+  struct SlotMap {
+    std::vector<uint64_t> tag;
+    std::vector<uint32_t> slot;
+  };
+
+  // Per-worker temporaries, reused across shards and batches.
+  struct WorkerScratch {
+    SlotMap users, items;
+    uint64_t shard_tag = 0;
+    std::vector<float> u_hat, i_hat;
+    Matrix j_hat;
+    std::vector<float> j_norm, neg_scores, d_neg;
+  };
+
+  // Returns the shard-local accumulator row for `row`, creating (and
+  // zero-filling) it on first touch. Rows register in first-touch order,
+  // which is deterministic because samples inside a shard run in order.
+  // Must be re-called per use: growing `vals` may reallocate.
+  static float* GradSlot(SlotMap& map, uint64_t shard_tag,
+                         std::vector<uint32_t>& rows,
+                         std::vector<float>& vals, uint32_t row, size_t d);
+  static void BeginShard(WorkerScratch& ws, ShardGrad& out);
+
   // Processes one batch of edges [begin, end); returns (sum loss, aux).
   std::pair<double, double> RunBatch(const std::vector<Edge>& edges,
                                      size_t begin, size_t end);
   // Sampled-negatives (Algorithm 1) and in-batch (Algorithm 2) loss
   // accumulation over the final embeddings; both only write into the
-  // model's final-embedding gradient buffers.
+  // model's final-embedding gradient buffers (via the shard reduction).
   double AccumulateSampledLoss(const std::vector<Edge>& edges, size_t begin,
                                size_t end);
   double AccumulateInBatchLoss(const std::vector<Edge>& edges, size_t begin,
                                size_t end);
+  // Adds every shard's partial gradients into the model's gradient
+  // tables in shard order; returns the summed loss.
+  double ReduceShards(size_t num_shards);
 
   const Dataset& data_;
   EmbeddingModel& model_;
   const LossFunction& loss_;
   const NegativeSampler& sampler_;
   TrainConfig config_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::vector<WorkerScratch> scratch_;   // one per pool worker
+  std::vector<ShardGrad> shards_;        // one per shard, reused per batch
+  std::vector<uint32_t> batch_negs_;     // pre-drawn negatives, b x N-
+  std::vector<uint32_t> sample_negs_;    // per-sample draw buffer
   Evaluator evaluator_;
   std::unique_ptr<Optimizer> optimizer_;
   Rng rng_;

@@ -58,6 +58,7 @@ struct Options {
   int eval_every = 5;
   uint32_t eval_k = 20;
   uint64_t seed = 42;
+  size_t threads = 0;  // 0 = hardware concurrency, 1 = serial
   std::string save_path;
   std::string load_path;
 };
@@ -73,7 +74,11 @@ void Usage() {
       "                    [--dim=N] [--layers=N] [--epochs=N] [--lr=X]\n"
       "                    [--negatives=N] [--batch=N] [--in-batch]\n"
       "                    [--eval-every=N] [--eval-k=N] [--seed=N]\n"
-      "                    [--save=F] [--load=F]\n");
+      "                    [--threads=N] [--save=F] [--load=F]\n"
+      "\n"
+      "--threads: worker count for training/evaluation (0 = one per\n"
+      "hardware thread, 1 = serial). Results are bit-identical for any\n"
+      "value.\n");
 }
 
 bool ParseFlags(int argc, char** argv, Options& opts) {
@@ -132,6 +137,13 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
       opts.eval_k = static_cast<uint32_t>(as_int());
     } else if (key == "seed") {
       opts.seed = static_cast<uint64_t>(as_int());
+    } else if (key == "threads") {
+      const long long n = as_int();
+      if (n < 0) {
+        std::fprintf(stderr, "--threads must be >= 0 (got %lld)\n", n);
+        return false;
+      }
+      opts.threads = static_cast<size_t>(n);
     } else if (key == "save") {
       opts.save_path = value;
     } else if (key == "load") {
@@ -252,6 +264,7 @@ int main(int argc, char** argv) {
   cfg.eval_every = opts.eval_every;
   cfg.metric_k = opts.eval_k;
   cfg.seed = opts.seed;
+  cfg.runtime.num_threads = opts.threads;
 
   bslrec::Trainer trainer(*data, *model, *loss, sampler, cfg);
   std::printf("training %s + %s (dim %zu, %d epochs)...\n",
