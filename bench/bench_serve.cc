@@ -1,0 +1,182 @@
+// Inference-service bench: per-batch latency percentiles (p50/p99) and
+// request throughput for the sharded top-k scorer at batch sizes
+// 1 / 16 / 256 and 1 / 2 / hardware threads, plus a probe that the
+// responses stay bit-identical across worker counts. Emits
+// machine-readable BENCH_serve.json into the working directory.
+//
+// The ranking cache is disabled so every request pays full catalog
+// scoring — the numbers measure the scorer, not the cache.
+//
+// BSLREC_FAST=1 shrinks the dataset and repetitions for CI.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "models/mf.h"
+#include "runtime/thread_pool.h"
+#include "serve/inference_service.h"
+
+namespace {
+
+using namespace bslrec;  // NOLINT: bench-local convenience
+
+struct ServePoint {
+  size_t threads;
+  size_t batch;
+  double p50_ms;
+  double p99_ms;
+  double requests_per_sec;
+};
+
+std::vector<size_t> ThreadCounts() {
+  const size_t hw = runtime::ResolveNumThreads(0);
+  std::vector<size_t> counts = {1, 2};
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+// Nearest-rank percentile (ceil(p*n)-th order statistic), so "p99"
+// reports at least the 99th percentile even at small sample counts
+// instead of silently rounding down into the body of the distribution.
+double Percentile(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[std::min(sorted_ms.size(), std::max<size_t>(rank, 1)) - 1];
+}
+
+// Deterministic request stream: users cycle through a seeded shuffle so
+// every (threads, batch) point serves the same traffic.
+std::vector<serve::TopKRequest> MakeRequests(size_t count,
+                                             uint32_t num_users,
+                                             uint32_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<serve::TopKRequest> reqs(count);
+  for (serve::TopKRequest& req : reqs) {
+    req.user = static_cast<uint32_t>(rng.NextIndex(num_users));
+    req.k = k;
+  }
+  return reqs;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = bench::FastMode();
+  SyntheticConfig cfg;
+  cfg.num_users = fast ? 400 : 1500;
+  cfg.num_items = fast ? 300 : 1200;
+  cfg.num_clusters = 10;
+  cfg.avg_items_per_user = 18.0;
+  cfg.seed = 77;
+  const Dataset data = GenerateSynthetic(cfg).dataset;
+  const size_t dim = fast ? 16 : 48;
+  const uint32_t k = 20;
+  const size_t batches_per_point = fast ? 8 : 30;
+
+  Rng rng(5);
+  MfModel model(data.num_users(), data.num_items(), dim, rng);
+  model.Forward(rng);
+
+  std::printf("serve bench: %u users, %u items, dim %zu, k %u\n",
+              data.num_users(), data.num_items(), dim, k);
+
+  const std::vector<size_t> batch_sizes = {1, 16, 256};
+  std::vector<ServePoint> points;
+  for (size_t threads : ThreadCounts()) {
+    serve::ServeConfig sc;
+    sc.max_k = k;
+    sc.cache_rankings = false;  // measure scoring, not cache hits
+    sc.runtime.num_threads = threads;
+    serve::InferenceService service(data, model, sc);
+    for (size_t batch : batch_sizes) {
+      const std::vector<serve::TopKRequest> reqs =
+          MakeRequests(batch * batches_per_point, data.num_users(), k, 31);
+      // Warm-up batch (pool wake-up, allocator).
+      service.HandleBatch({reqs.data(), batch});
+      std::vector<double> latencies_ms;
+      latencies_ms.reserve(batches_per_point);
+      double total_secs = 0.0;
+      for (size_t b = 0; b < batches_per_point; ++b) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto resps =
+            service.HandleBatch({reqs.data() + b * batch, batch});
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        latencies_ms.push_back(secs * 1000.0);
+        total_secs += secs;
+        if (resps.size() != batch) return 1;  // paranoia
+      }
+      std::sort(latencies_ms.begin(), latencies_ms.end());
+      ServePoint p;
+      p.threads = threads;
+      p.batch = batch;
+      p.p50_ms = Percentile(latencies_ms, 0.50);
+      p.p99_ms = Percentile(latencies_ms, 0.99);
+      p.requests_per_sec =
+          static_cast<double>(batch * batches_per_point) / total_secs;
+      points.push_back(p);
+      std::printf(
+          "threads=%zu batch=%-3zu  p50 %.3f ms  p99 %.3f ms  %.0f req/s\n",
+          threads, batch, p.p50_ms, p.p99_ms, p.requests_per_sec);
+    }
+  }
+
+  // ---- determinism probe: responses must match the 1-thread service ----
+  bool identical = true;
+  {
+    const std::vector<serve::TopKRequest> probe =
+        MakeRequests(64, data.num_users(), k, 97);
+    serve::ServeConfig sc;
+    sc.max_k = k;
+    sc.cache_rankings = false;
+    sc.runtime.num_threads = 1;
+    serve::InferenceService baseline(data, model, sc);
+    const auto want = baseline.HandleBatch(probe);
+    for (size_t threads : ThreadCounts()) {
+      sc.runtime.num_threads = threads;
+      serve::InferenceService service(data, model, sc);
+      const auto got = service.HandleBatch(probe);
+      for (size_t r = 0; r < probe.size(); ++r) {
+        identical = identical && got[r].items == want[r].items &&
+                    got[r].scores == want[r].scores;
+      }
+    }
+  }
+  std::printf("bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — BUG");
+
+  // ---- machine-readable output ----
+  FILE* out = std::fopen("BENCH_serve.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
+               runtime::ResolveNumThreads(0));
+  std::fprintf(out,
+               "  \"dataset\": {\"users\": %u, \"items\": %u, "
+               "\"dim\": %zu, \"k\": %u},\n",
+               data.num_users(), data.num_items(), dim, k);
+  std::fprintf(out, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ServePoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"batch\": %zu, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"requests_per_sec\": %.1f}%s\n",
+                 p.threads, p.batch, p.p50_ms, p.p99_ms, p.requests_per_sec,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"bit_identical\": %s\n", identical ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_serve.json\n");
+  return identical ? 0 : 1;
+}

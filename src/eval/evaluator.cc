@@ -6,7 +6,7 @@
 #include <span>
 
 #include "math/check.h"
-#include "math/vec.h"
+#include "serve/topk_scorer.h"
 
 namespace bslrec {
 namespace {
@@ -38,32 +38,16 @@ Evaluator::Evaluator(const Dataset& data, uint32_t k,
 
 Evaluator::Pass::Pass(const Evaluator& eval, const EmbeddingModel& model)
     : eval_(eval),
-      model_(model),
-      item_normed_(eval.data_.num_items(), model.dim()),
+      snapshot_(model, *eval.pool_),
       scratch_(eval.pool_->num_workers()) {
-  const size_t d = model.dim();
-  // Normalize the item table once per pass; rows are independent, so the
-  // parallel fill is trivially bit-identical for any worker count.
-  runtime::ParallelFor(
-      *eval_.pool_, 0, eval_.data_.num_items(), 256,
-      [&](size_t lo, size_t hi, size_t /*shard*/, size_t /*worker*/) {
-        for (size_t i = lo; i < hi; ++i) {
-          vec::Normalize(model.ItemEmb(static_cast<uint32_t>(i)),
-                         item_normed_.Row(i), d);
-        }
-      });
   for (WorkerScratch& ws : scratch_) {
     ws.scores.resize(eval_.data_.num_items());
-    ws.u_hat.resize(d);
   }
 }
 
 void Evaluator::Pass::ScoreUser(uint32_t user, WorkerScratch& ws) {
-  const size_t d = model_.dim();
-  vec::Normalize(model_.UserEmb(user), ws.u_hat.data(), d);
-  for (uint32_t i = 0; i < eval_.data_.num_items(); ++i) {
-    ws.scores[i] = vec::Dot(ws.u_hat.data(), item_normed_.Row(i), d);
-  }
+  serve::ScoreItemRange(snapshot_, snapshot_.UserVec(user), 0,
+                        snapshot_.num_items(), ws.scores.data());
 }
 
 template <typename Fn>
@@ -174,26 +158,14 @@ std::vector<uint32_t> Evaluator::RankTopK(const std::vector<float>& scores,
                                           uint32_t user, uint32_t k) const {
   // Candidates exclude the user's train positives entirely: a
   // recommendation list must never contain already-consumed items.
-  const auto train_items = data_.TrainItems(user);
-  std::vector<uint32_t> order;
-  order.reserve(scores.size());
-  size_t next_train = 0;
-  for (uint32_t i = 0; i < scores.size(); ++i) {
-    if (next_train < train_items.size() && train_items[next_train] == i) {
-      ++next_train;
-      continue;
-    }
-    order.push_back(i);
-  }
-  const uint32_t kk =
-      std::min<uint32_t>(k, static_cast<uint32_t>(order.size()));
-  std::partial_sort(order.begin(), order.begin() + kk, order.end(),
-                    [&](uint32_t a, uint32_t b) {
-                      if (scores[a] != scores[b]) return scores[a] > scores[b];
-                      return a < b;  // deterministic tie-break
-                    });
-  order.resize(kk);
-  return order;
+  // Selection and tie-breaking come from the serve core, so evaluator
+  // rankings and served responses are the same lists by construction.
+  const std::vector<serve::ScoredItem> top = serve::SelectTopK(
+      scores.data(), 0, static_cast<uint32_t>(scores.size()), k,
+      data_.TrainItems(user));
+  std::vector<uint32_t> items(top.size());
+  for (size_t i = 0; i < top.size(); ++i) items[i] = top[i].item;
+  return items;
 }
 
 TopKMetrics Evaluator::Evaluate(const EmbeddingModel& model) const {

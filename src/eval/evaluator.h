@@ -11,12 +11,16 @@
 // its own output slot before a serial reduction, so all metrics are
 // bit-identical for any worker count (see runtime/thread_pool.h).
 //
-// An evaluation *pass* (`BeginPass`) snapshots the model's current final
-// embeddings once: the normalized item table and per-worker score
-// buffers are computed a single time and shared by every query on the
-// pass. The single-shot `Evaluate`/`GroupNdcg`/... wrappers each open a
-// one-query pass; callers issuing several queries against the same
-// model state should hold a pass instead.
+// An evaluation *pass* (`BeginPass`) freezes the model's current final
+// embeddings into a read-only `serve::ModelSnapshot` (the same snapshot
+// type the inference service ships to production) and shares it, along
+// with per-worker score buffers, across every query on the pass. The
+// scoring and ranking kernels also come from `serve/` —
+// `ScoreItemRange` and `SelectTopK` — so offline metrics and served
+// responses agree bit-for-bit by construction. The single-shot
+// `Evaluate`/`GroupNdcg`/... wrappers each open a one-query pass;
+// callers issuing several queries against the same model state should
+// hold a pass instead.
 #ifndef BSLREC_EVAL_EVALUATOR_H_
 #define BSLREC_EVAL_EVALUATOR_H_
 
@@ -28,6 +32,7 @@
 #include "eval/metrics.h"
 #include "models/model.h"
 #include "runtime/thread_pool.h"
+#include "serve/model_snapshot.h"
 
 namespace bslrec {
 
@@ -43,8 +48,9 @@ class Evaluator {
 
   uint32_t k() const { return k_; }
 
-  // One evaluation pass over a fixed model state. The model's final
-  // embeddings must not change while the pass is alive.
+  // One evaluation pass over a fixed model state. The pass copies the
+  // final embeddings into its snapshot at construction, so the model
+  // may keep training while the pass is queried.
   class Pass {
    public:
     // Aggregate metrics at cutoff evaluator k() / an arbitrary cutoff.
@@ -63,13 +69,16 @@ class Evaluator {
     // summary of the recommendation policy.
     std::vector<double> ItemExposure();
 
+    // The frozen embeddings this pass scores against — the same
+    // snapshot type serve::InferenceService answers traffic from.
+    const serve::ModelSnapshot& snapshot() const { return snapshot_; }
+
    private:
     friend class Evaluator;
     Pass(const Evaluator& eval, const EmbeddingModel& model);
 
     struct WorkerScratch {
       std::vector<float> scores;  // one score per catalog item
-      std::vector<float> u_hat;   // normalized user embedding
     };
 
     // Scores all items for `user` into ws.scores.
@@ -88,8 +97,7 @@ class Evaluator {
         const std::vector<std::vector<uint32_t>>& rankings, uint32_t k);
 
     const Evaluator& eval_;
-    const EmbeddingModel& model_;
-    Matrix item_normed_;  // normalized item table, computed once
+    serve::ModelSnapshot snapshot_;  // normalized tables, computed once
     std::vector<WorkerScratch> scratch_;  // one per pool worker
     std::vector<std::vector<uint32_t>> rankings_k_;  // per test user
     bool rankings_cached_ = false;

@@ -1,0 +1,54 @@
+// Read-only model snapshot for scoring.
+//
+// A `ModelSnapshot` freezes the state an inference request needs: the
+// L2-normalized final user and item tables copied out of an
+// `EmbeddingModel` at a single point in time. Once built, the snapshot
+// is immutable and fully self-contained — the source model may keep
+// training, be checkpointed, or be destroyed without invalidating
+// outstanding readers.
+//
+// Both the `InferenceService` (serving traffic) and the `Evaluator`
+// (offline metrics) consume the same snapshot type, so "what the
+// evaluator measured" and "what the service returns" are the same
+// numbers by construction: cosine scores are Dot(user_row, item_row)
+// over rows normalized by the identical `vec::Normalize` kernel.
+//
+// Construction normalizes both tables in parallel over a
+// `runtime::ThreadPool`; rows are independent, so the fill is
+// bit-identical for any worker count.
+#ifndef BSLREC_SERVE_MODEL_SNAPSHOT_H_
+#define BSLREC_SERVE_MODEL_SNAPSHOT_H_
+
+#include <cstdint>
+
+#include "math/matrix.h"
+#include "models/model.h"
+#include "runtime/thread_pool.h"
+
+namespace bslrec::serve {
+
+class ModelSnapshot {
+ public:
+  // Copies and normalizes `model`'s final embeddings (the model must
+  // have run Forward). `pool` is only used during construction.
+  ModelSnapshot(const EmbeddingModel& model, runtime::ThreadPool& pool);
+
+  uint32_t num_users() const { return num_users_; }
+  uint32_t num_items() const { return num_items_; }
+  size_t dim() const { return dim_; }
+
+  // Unit-norm embedding rows (zero vectors stay zero).
+  const float* UserVec(uint32_t u) const { return user_normed_.Row(u); }
+  const float* ItemVec(uint32_t i) const { return item_normed_.Row(i); }
+
+ private:
+  uint32_t num_users_;
+  uint32_t num_items_;
+  size_t dim_;
+  Matrix user_normed_;
+  Matrix item_normed_;
+};
+
+}  // namespace bslrec::serve
+
+#endif  // BSLREC_SERVE_MODEL_SNAPSHOT_H_

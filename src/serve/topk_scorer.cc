@@ -1,0 +1,124 @@
+#include "serve/topk_scorer.h"
+
+#include <algorithm>
+
+#include "math/check.h"
+#include "math/vec.h"
+
+namespace bslrec::serve {
+
+void ScoreItemRange(const ModelSnapshot& snapshot, const float* q_hat,
+                    uint32_t lo, uint32_t hi, float* out) {
+  const size_t d = snapshot.dim();
+  for (uint32_t i = lo; i < hi; ++i) {
+    out[i - lo] = vec::Dot(q_hat, snapshot.ItemVec(i), d);
+  }
+}
+
+namespace {
+
+// Fills `cand` with the non-excluded items of the scored block and
+// partially sorts its top-min(k, size) prefix; returns the prefix size.
+size_t SortTopCandidates(const float* scores, uint32_t lo, uint32_t hi,
+                         uint32_t k, std::span<const uint32_t> exclude,
+                         std::vector<ScoredItem>& cand) {
+  cand.clear();
+  cand.reserve(hi - lo);
+  auto ex = exclude.begin();
+  for (uint32_t i = lo; i < hi; ++i) {
+    while (ex != exclude.end() && *ex < i) ++ex;
+    if (ex != exclude.end() && *ex == i) continue;
+    cand.push_back({i, scores[i - lo]});
+  }
+  const size_t kk = std::min<size_t>(k, cand.size());
+  std::partial_sort(cand.begin(), cand.begin() + kk, cand.end(),
+                    ScoredBefore);
+  return kk;
+}
+
+}  // namespace
+
+std::vector<ScoredItem> SelectTopK(const float* scores, uint32_t lo,
+                                   uint32_t hi, uint32_t k,
+                                   std::span<const uint32_t> exclude) {
+  std::vector<ScoredItem> cand;
+  cand.resize(SortTopCandidates(scores, lo, hi, k, exclude, cand));
+  return cand;
+}
+
+std::vector<ScoredItem> SelectTopKWithScratch(
+    const float* scores, uint32_t lo, uint32_t hi, uint32_t k,
+    std::span<const uint32_t> exclude, std::vector<ScoredItem>& scratch) {
+  const size_t kk = SortTopCandidates(scores, lo, hi, k, exclude, scratch);
+  return std::vector<ScoredItem>(scratch.begin(),
+                                 scratch.begin() + static_cast<long>(kk));
+}
+
+std::vector<ScoredItem> MergeTopK(
+    std::span<const std::vector<ScoredItem>> shard_tops, uint32_t k) {
+  size_t total = 0;
+  for (const std::vector<ScoredItem>& st : shard_tops) total += st.size();
+  std::vector<ScoredItem> all;
+  all.reserve(total);
+  for (const std::vector<ScoredItem>& st : shard_tops) {
+    all.insert(all.end(), st.begin(), st.end());
+  }
+  const size_t kk = std::min<size_t>(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + kk, all.end(), ScoredBefore);
+  all.resize(kk);
+  return all;
+}
+
+CatalogScorer::CatalogScorer(const ModelSnapshot& snapshot,
+                             runtime::ThreadPool& pool,
+                             uint32_t items_per_shard)
+    : snapshot_(snapshot), pool_(pool), items_per_shard_(items_per_shard) {
+  BSLREC_CHECK(items_per_shard > 0);
+}
+
+std::vector<ScoredItem> CatalogScorer::TopK(const ScoreQuery& query) const {
+  return BatchTopK({&query, 1})[0];
+}
+
+std::vector<std::vector<ScoredItem>> CatalogScorer::BatchTopK(
+    std::span<const ScoreQuery> queries) const {
+  const uint32_t n = snapshot_.num_items();
+  const size_t num_shards =
+      (static_cast<size_t>(n) + items_per_shard_ - 1) / items_per_shard_;
+  std::vector<std::vector<ScoredItem>> out(queries.size());
+  if (queries.empty() || num_shards == 0) return out;
+
+  // Flat (query, item-shard) task grid with one per-shard output slot
+  // per task and shard-sized score/candidate buffers per worker. Each
+  // slot is written by exactly one task, so no synchronization is
+  // needed and the serial per-query merge below is deterministic.
+  std::vector<std::vector<ScoredItem>> shard_tops(queries.size() *
+                                                  num_shards);
+  std::vector<std::vector<float>> scores(pool_.num_workers());
+  std::vector<std::vector<ScoredItem>> cand(pool_.num_workers());
+  runtime::ParallelFor(
+      pool_, 0, shard_tops.size(), 1,
+      [&](size_t lo, size_t hi, size_t /*shard*/, size_t worker) {
+        std::vector<float>& buf = scores[worker];
+        buf.resize(items_per_shard_);
+        for (size_t t = lo; t < hi; ++t) {
+          const ScoreQuery& q = queries[t / num_shards];
+          const uint32_t item_lo = static_cast<uint32_t>(
+              (t % num_shards) * items_per_shard_);
+          const uint32_t item_hi =
+              std::min<uint32_t>(n, item_lo + items_per_shard_);
+          ScoreItemRange(snapshot_, q.q_hat, item_lo, item_hi, buf.data());
+          shard_tops[t] = SelectTopKWithScratch(
+              buf.data(), item_lo, item_hi, q.k, q.exclude, cand[worker]);
+        }
+      });
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    out[qi] = MergeTopK(
+        std::span<const std::vector<ScoredItem>>(
+            shard_tops.data() + qi * num_shards, num_shards),
+        queries[qi].k);
+  }
+  return out;
+}
+
+}  // namespace bslrec::serve

@@ -1,0 +1,112 @@
+// Sharded full-catalog top-k scoring.
+//
+// The scoring core behind both the inference service and the offline
+// evaluator: cosine-score every catalog item of a `ModelSnapshot`
+// against a unit query vector and select the k best under the strict
+// total order (score descending, item id ascending), optionally
+// skipping an excluded (already seen) item set.
+//
+// `CatalogScorer` parallelizes one or many queries over a
+// `runtime::ThreadPool` by splitting the catalog into *fixed-grain item
+// shards*: each (query, shard) pair scores only `items_per_shard`
+// items into a per-worker buffer and emits its local top-k into a
+// per-shard output slot; the shards of a query are then reduced
+// serially in shard order. Shard boundaries depend only on the catalog
+// size and the grain — never on the worker count — so results are
+// bit-identical for any `num_threads` (the PR 1 determinism contract,
+// see runtime/thread_pool.h), and a worker never needs a score buffer
+// larger than one shard, so catalogs bigger than any single buffer
+// still serve fine.
+//
+// Because (score, id) is a strict total order over the catalog, the
+// global top-k is unique and has the *prefix property*: the top-k list
+// is exactly the first k entries of any top-k' list with k' >= k. The
+// inference service's cutoff-prefix reuse and the evaluator's cached
+// rankings both lean on this.
+#ifndef BSLREC_SERVE_TOPK_SCORER_H_
+#define BSLREC_SERVE_TOPK_SCORER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "serve/model_snapshot.h"
+
+namespace bslrec::serve {
+
+// One catalog item with its cosine score for some query.
+struct ScoredItem {
+  uint32_t item;
+  float score;
+};
+
+// Strict total order used everywhere: higher score first, ties broken
+// by ascending item id (deterministic).
+inline bool ScoredBefore(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+// Serial scoring kernel: out[i - lo] = cos(q_hat, item i) for every
+// item in [lo, hi). `q_hat` must be unit-norm with snapshot dim.
+void ScoreItemRange(const ModelSnapshot& snapshot, const float* q_hat,
+                    uint32_t lo, uint32_t hi, float* out);
+
+// Selects the top-k of a scored block: `scores[i - lo]` is item i's
+// score for i in [lo, hi). Ids listed in `exclude` (sorted ascending;
+// entries outside the block are ignored) are skipped. Returns at most
+// k items ordered by ScoredBefore.
+std::vector<ScoredItem> SelectTopK(const float* scores, uint32_t lo,
+                                   uint32_t hi, uint32_t k,
+                                   std::span<const uint32_t> exclude);
+
+// As SelectTopK, but builds candidates in caller-owned scratch
+// (cleared on entry, capacity reused) so hot loops avoid a
+// block-sized allocation per call; only the k returned entries are
+// freshly allocated.
+std::vector<ScoredItem> SelectTopKWithScratch(
+    const float* scores, uint32_t lo, uint32_t hi, uint32_t k,
+    std::span<const uint32_t> exclude, std::vector<ScoredItem>& scratch);
+
+// Serial reduction of per-shard top-k candidate lists into the global
+// top-k. The result is the unique ScoredBefore-minimal k-set, so it is
+// independent of how candidates were partitioned into shards.
+std::vector<ScoredItem> MergeTopK(
+    std::span<const std::vector<ScoredItem>> shard_tops, uint32_t k);
+
+// One full-catalog top-k query against a snapshot.
+struct ScoreQuery {
+  const float* q_hat;  // unit query vector, snapshot dim
+  uint32_t k;
+  std::span<const uint32_t> exclude;  // sorted ascending ids to skip
+};
+
+class CatalogScorer {
+ public:
+  // Items per scoring shard; the per-worker score buffer is this big.
+  static constexpr uint32_t kDefaultItemsPerShard = 2048;
+
+  // `snapshot` and `pool` must outlive the scorer. The pool is driven
+  // from the calling thread — one TopK/BatchTopK at a time.
+  CatalogScorer(const ModelSnapshot& snapshot, runtime::ThreadPool& pool,
+                uint32_t items_per_shard = kDefaultItemsPerShard);
+
+  // Full-catalog top-k for one query.
+  std::vector<ScoredItem> TopK(const ScoreQuery& query) const;
+
+  // Batched queries: parallelizes over the flat (query x item-shard)
+  // task grid, so a single large query and many small ones saturate
+  // the pool equally well. Result i answers queries[i].
+  std::vector<std::vector<ScoredItem>> BatchTopK(
+      std::span<const ScoreQuery> queries) const;
+
+ private:
+  const ModelSnapshot& snapshot_;
+  runtime::ThreadPool& pool_;
+  uint32_t items_per_shard_;
+};
+
+}  // namespace bslrec::serve
+
+#endif  // BSLREC_SERVE_TOPK_SCORER_H_

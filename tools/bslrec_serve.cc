@@ -1,0 +1,287 @@
+// bslrec_serve — batched top-k inference service CLI.
+//
+// Loads a dataset and a model checkpoint, freezes the model into a
+// serving snapshot, and answers top-k recommendation requests from
+// stdin (or --requests=FILE), batching consecutive requests for
+// throughput.
+//
+// Request format, one request per line:
+//   <user> [<k>] [all]
+// where <user> is the user id, <k> overrides the default cutoff and
+// the literal word "all" disables seen-item filtering (train positives
+// are masked by default). Blank lines and lines starting with '#' are
+// skipped. Responses are printed one line per request, in input order:
+//   user=<u> k=<k> items=<item>:<score>,...
+//
+// Examples:
+//   bslrec_train --dataset=yelp --loss=BSL --save=model.ckpt
+//   echo "3 10" | bslrec_serve --dataset=yelp --load=model.ckpt
+//   bslrec_serve --dataset=yelp --load=model.ckpt
+//                --requests=reqs.txt --batch=256 --threads=8
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "models/checkpoint.h"
+#include "serve/inference_service.h"
+#include "tool_util.h"
+
+namespace {
+
+using namespace bslrec;  // NOLINT: tool-local convenience
+
+struct Options {
+  std::string dataset = "yelp";  // yelp|amazon|gowalla|ml1m
+  std::string train_file;
+  std::string test_file;
+  std::string backbone = "mf";  // mf|ngcf|lightgcn|sgl|simgcl|lightgcl
+  size_t dim = 32;
+  int layers = 2;
+  std::string load_path;
+  std::string requests_file;  // empty = stdin
+  uint32_t k = 10;            // default cutoff per request
+  uint32_t max_k = 100;       // cache / prefix-reuse depth
+  uint32_t shard_items = serve::CatalogScorer::kDefaultItemsPerShard;
+  size_t batch = 32;          // requests handled per HandleBatch call
+  bool no_cache = false;
+  uint64_t seed = 42;
+  size_t threads = 0;  // 0 = hardware concurrency, 1 = serial
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bslrec_serve [--dataset=yelp|amazon|gowalla|ml1m]\n"
+      "                    [--train-file=F --test-file=F]\n"
+      "                    [--backbone=mf|ngcf|lightgcn|sgl|simgcl|lightgcl]\n"
+      "                    [--dim=N] [--layers=N] [--load=CKPT]\n"
+      "                    [--requests=FILE] [--k=N] [--max-k=N]\n"
+      "                    [--batch=N] [--shard-items=N] [--no-cache]\n"
+      "                    [--threads=N] [--seed=N]\n"
+      "\n"
+      "Serves top-k recommendations from a frozen model snapshot.\n"
+      "Requests are read from --requests (default: stdin), one per\n"
+      "line: '<user> [<k>] [all]' — k defaults to --k; 'all' disables\n"
+      "seen-item filtering for that request. Output, in input order:\n"
+      "  user=<u> k=<k> items=<item>:<score>,...\n"
+      "\n"
+      "--load:        checkpoint from bslrec_train --save (without it\n"
+      "               the model serves its random initialization)\n"
+      "--batch:       requests grouped per HandleBatch call (>= 1);\n"
+      "               responses are identical for any batch size\n"
+      "--max-k:       per-user rankings are cached at this depth and\n"
+      "               smaller cutoffs served as prefixes\n"
+      "--shard-items: catalog items per scoring shard (per-worker\n"
+      "               score-buffer size)\n"
+      "--threads:     worker count (0 = one per hardware thread,\n"
+      "               1 = serial). Results are bit-identical for any\n"
+      "               value.\n");
+}
+
+bool ParseFlags(int argc, char** argv, Options& opts) {
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string key = arg, value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    const auto as_int = [&]() { return std::atoll(value.c_str()); };
+    if (key == "dataset") {
+      opts.dataset = value;
+    } else if (key == "train-file") {
+      opts.train_file = value;
+    } else if (key == "test-file") {
+      opts.test_file = value;
+    } else if (key == "backbone") {
+      opts.backbone = value;
+    } else if (key == "dim") {
+      opts.dim = static_cast<size_t>(as_int());
+    } else if (key == "layers") {
+      opts.layers = static_cast<int>(as_int());
+    } else if (key == "load") {
+      opts.load_path = value;
+    } else if (key == "requests") {
+      opts.requests_file = value;
+    } else if (key == "k") {
+      opts.k = static_cast<uint32_t>(as_int());
+    } else if (key == "max-k") {
+      opts.max_k = static_cast<uint32_t>(as_int());
+    } else if (key == "shard-items") {
+      opts.shard_items = static_cast<uint32_t>(as_int());
+    } else if (key == "batch") {
+      opts.batch = static_cast<size_t>(as_int());
+    } else if (key == "no-cache") {
+      opts.no_cache = true;
+    } else if (key == "seed") {
+      opts.seed = static_cast<uint64_t>(as_int());
+    } else if (key == "threads") {
+      const long long n = as_int();
+      if (n < 0) {
+        std::fprintf(stderr, "--threads must be >= 0 (got %lld)\n", n);
+        return false;
+      }
+      opts.threads = static_cast<size_t>(n);
+    } else if (key == "help") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag '--%s'\n", key.c_str());
+      return false;
+    }
+  }
+  if (opts.k == 0 || opts.max_k == 0 || opts.batch == 0 ||
+      opts.shard_items == 0) {
+    std::fprintf(stderr, "--k, --max-k, --batch, --shard-items must be > 0\n");
+    return false;
+  }
+  return true;
+}
+
+// Parses one request line; returns false (with a stderr diagnostic) on
+// malformed input or an out-of-range user.
+bool ParseRequest(const std::string& line, const Options& opts,
+                  uint32_t num_users, serve::TopKRequest& req) {
+  std::istringstream in(line);
+  long long user = -1;
+  in >> user;
+  if (!in || user < 0 || static_cast<uint64_t>(user) >= num_users) {
+    std::fprintf(stderr, "bad request '%s': user must be in [0, %u)\n",
+                 line.c_str(), num_users);
+    return false;
+  }
+  req = serve::TopKRequest{};
+  req.user = static_cast<uint32_t>(user);
+  req.k = opts.k;
+  std::string tok;
+  while (in >> tok) {
+    if (tok == "all") {
+      req.filter_seen = false;
+    } else {
+      const long long k = std::atoll(tok.c_str());
+      if (k <= 0 || k > static_cast<long long>(UINT32_MAX)) {
+        std::fprintf(stderr, "bad request '%s': k must be in [1, %u]\n",
+                     line.c_str(), UINT32_MAX);
+        return false;
+      }
+      req.k = static_cast<uint32_t>(k);
+    }
+  }
+  return true;
+}
+
+void PrintResponses(const std::vector<serve::TopKRequest>& reqs,
+                    const std::vector<serve::TopKResponse>& resps) {
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    std::printf("user=%u k=%u items=", reqs[i].user, reqs[i].k);
+    for (size_t j = 0; j < resps[i].items.size(); ++j) {
+      std::printf("%s%u:%.6f", j == 0 ? "" : ",", resps[i].items[j],
+                  resps[i].scores[j]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseFlags(argc, argv, opts)) {
+    Usage();
+    return 2;
+  }
+
+  const auto data = tools::LoadDatasetFromFlags(opts.dataset, opts.train_file,
+                                                opts.test_file, opts.seed);
+  if (!data.has_value()) return 1;
+  std::fprintf(stderr, "data: %u users, %u items, %zu train interactions\n",
+               data->num_users(), data->num_items(), data->num_train());
+
+  const BipartiteGraph graph(*data);
+  Rng rng(opts.seed);
+  auto model =
+      tools::MakeBackbone(opts.backbone, graph, opts.dim, opts.layers, rng);
+  if (model == nullptr) return 1;
+  if (!opts.load_path.empty()) {
+    if (!LoadModelParams(*model, opts.load_path)) return 1;
+    std::fprintf(stderr, "loaded checkpoint %s\n", opts.load_path.c_str());
+  } else {
+    std::fprintf(stderr,
+                 "warning: no --load given, serving random-init %s model\n",
+                 opts.backbone.c_str());
+  }
+  model->Forward(rng);  // materialize final embeddings for the snapshot
+
+  serve::ServeConfig cfg;
+  cfg.max_k = opts.max_k;
+  cfg.items_per_shard = opts.shard_items;
+  cfg.cache_rankings = !opts.no_cache;
+  cfg.runtime.num_threads = opts.threads;
+  serve::InferenceService service(*data, *model, cfg);
+  std::fprintf(stderr, "snapshot ready (%u users x %u items, dim %zu)\n",
+               service.snapshot().num_users(), service.snapshot().num_items(),
+               service.snapshot().dim());
+
+  std::ifstream req_file;
+  if (!opts.requests_file.empty()) {
+    req_file.open(opts.requests_file);
+    if (!req_file) {
+      std::fprintf(stderr, "cannot open --requests file '%s'\n",
+                   opts.requests_file.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = opts.requests_file.empty() ? std::cin : req_file;
+
+  size_t served = 0, malformed = 0;
+  double total_secs = 0.0;
+  std::vector<serve::TopKRequest> batch;
+  const auto flush = [&]() {
+    if (batch.empty()) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<serve::TopKResponse> resps =
+        service.HandleBatch(batch);
+    total_secs += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    PrintResponses(batch, resps);
+    served += batch.size();
+    batch.clear();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    serve::TopKRequest req;
+    if (!ParseRequest(line, opts, data->num_users(), req)) {
+      ++malformed;
+      continue;
+    }
+    batch.push_back(req);
+    if (batch.size() >= opts.batch) flush();
+  }
+  flush();
+
+  std::fprintf(stderr,
+               "served %zu requests in %.1f ms (%.0f req/s), %zu malformed\n",
+               served, total_secs * 1000.0,
+               total_secs > 0.0 ? static_cast<double>(served) / total_secs
+                                : 0.0,
+               malformed);
+  return malformed == 0 ? 0 : 1;
+}

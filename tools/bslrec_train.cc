@@ -21,16 +21,11 @@
 #include <string>
 
 #include "core/losses.h"
-#include "data/loaders.h"
-#include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "graph/bipartite_graph.h"
 #include "models/checkpoint.h"
-#include "models/contrastive.h"
-#include "models/lightgcn.h"
-#include "models/mf.h"
-#include "models/ngcf.h"
 #include "sampling/negative_sampler.h"
+#include "tool_util.h"
 #include "train/trainer.h"
 
 namespace {
@@ -159,62 +154,6 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
   return true;
 }
 
-std::optional<bslrec::Dataset> LoadData(const Options& opts) {
-  if (!opts.train_file.empty()) {
-    if (opts.test_file.empty()) {
-      std::fprintf(stderr, "--train-file requires --test-file\n");
-      return std::nullopt;
-    }
-    return bslrec::LoadInteractions(opts.train_file, opts.test_file);
-  }
-  if (opts.dataset == "yelp") {
-    return bslrec::GenerateSynthetic(bslrec::Yelp18Synth(opts.seed)).dataset;
-  }
-  if (opts.dataset == "amazon") {
-    return bslrec::GenerateSynthetic(bslrec::AmazonSynth(opts.seed)).dataset;
-  }
-  if (opts.dataset == "gowalla") {
-    return bslrec::GenerateSynthetic(bslrec::GowallaSynth(opts.seed)).dataset;
-  }
-  if (opts.dataset == "ml1m") {
-    return bslrec::GenerateSynthetic(bslrec::Movielens1MSynth(opts.seed))
-        .dataset;
-  }
-  std::fprintf(stderr, "unknown dataset '%s'\n", opts.dataset.c_str());
-  return std::nullopt;
-}
-
-std::unique_ptr<bslrec::EmbeddingModel> MakeBackbone(
-    const Options& opts, const bslrec::BipartiteGraph& graph,
-    bslrec::Rng& rng) {
-  if (opts.backbone == "mf") {
-    return std::make_unique<bslrec::MfModel>(graph.num_users(),
-                                             graph.num_items(), opts.dim,
-                                             rng);
-  }
-  if (opts.backbone == "ngcf") {
-    return std::make_unique<bslrec::NgcfModel>(graph, opts.dim, opts.layers,
-                                               rng);
-  }
-  if (opts.backbone == "lightgcn") {
-    return std::make_unique<bslrec::LightGcnModel>(graph, opts.dim,
-                                                   opts.layers, rng);
-  }
-  bslrec::ContrastiveConfig cc;
-  cc.num_layers = opts.layers;
-  if (opts.backbone == "sgl") {
-    cc.kind = bslrec::AugmentationKind::kEdgeDropout;
-  } else if (opts.backbone == "simgcl") {
-    cc.kind = bslrec::AugmentationKind::kEmbeddingNoise;
-  } else if (opts.backbone == "lightgcl") {
-    cc.kind = bslrec::AugmentationKind::kSvdView;
-  } else {
-    std::fprintf(stderr, "unknown backbone '%s'\n", opts.backbone.c_str());
-    return nullptr;
-  }
-  return std::make_unique<bslrec::ContrastiveModel>(graph, opts.dim, cc, rng);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,7 +163,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto data = LoadData(opts);
+  const auto data = bslrec::tools::LoadDatasetFromFlags(
+      opts.dataset, opts.train_file, opts.test_file, opts.seed);
   if (!data.has_value()) return 1;
   std::printf("data: %u users, %u items, %zu train, %zu test (%.3f%% dense)\n",
               data->num_users(), data->num_items(), data->num_train(),
@@ -244,7 +184,8 @@ int main(int argc, char** argv) {
 
   const bslrec::BipartiteGraph graph(*data);
   bslrec::Rng rng(opts.seed);
-  auto model = MakeBackbone(opts, graph, rng);
+  auto model = bslrec::tools::MakeBackbone(opts.backbone, graph, opts.dim,
+                                           opts.layers, rng);
   if (model == nullptr) return 1;
   if (!opts.load_path.empty() &&
       !bslrec::LoadModelParams(*model, opts.load_path)) {

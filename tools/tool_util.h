@@ -1,0 +1,87 @@
+// Shared scaffolding for the command-line tools (bslrec_train,
+// bslrec_serve): dataset selection from the common --dataset /
+// --train-file / --test-file flags and the backbone factory behind the
+// common --backbone flag. Keeping these here means a new preset or
+// backbone shows up in every tool at once instead of drifting.
+#ifndef BSLREC_TOOLS_TOOL_UTIL_H_
+#define BSLREC_TOOLS_TOOL_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/loaders.h"
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "models/contrastive.h"
+#include "models/lightgcn.h"
+#include "models/mf.h"
+#include "models/ngcf.h"
+
+namespace bslrec::tools {
+
+// Loads interaction files when given, otherwise generates the named
+// synthetic preset (yelp|amazon|gowalla|ml1m). Returns nullopt with a
+// stderr diagnostic on bad flags.
+inline std::optional<Dataset> LoadDatasetFromFlags(
+    const std::string& dataset, const std::string& train_file,
+    const std::string& test_file, uint64_t seed) {
+  if (!train_file.empty()) {
+    if (test_file.empty()) {
+      std::fprintf(stderr, "--train-file requires --test-file\n");
+      return std::nullopt;
+    }
+    return LoadInteractions(train_file, test_file);
+  }
+  if (dataset == "yelp") {
+    return GenerateSynthetic(Yelp18Synth(seed)).dataset;
+  }
+  if (dataset == "amazon") {
+    return GenerateSynthetic(AmazonSynth(seed)).dataset;
+  }
+  if (dataset == "gowalla") {
+    return GenerateSynthetic(GowallaSynth(seed)).dataset;
+  }
+  if (dataset == "ml1m") {
+    return GenerateSynthetic(Movielens1MSynth(seed)).dataset;
+  }
+  std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
+  return std::nullopt;
+}
+
+// Builds the backbone named by --backbone
+// (mf|ngcf|lightgcn|sgl|simgcl|lightgcl); nullptr with a stderr
+// diagnostic on an unknown name.
+inline std::unique_ptr<EmbeddingModel> MakeBackbone(
+    const std::string& backbone, const BipartiteGraph& graph, size_t dim,
+    int layers, Rng& rng) {
+  if (backbone == "mf") {
+    return std::make_unique<MfModel>(graph.num_users(), graph.num_items(),
+                                     dim, rng);
+  }
+  if (backbone == "ngcf") {
+    return std::make_unique<NgcfModel>(graph, dim, layers, rng);
+  }
+  if (backbone == "lightgcn") {
+    return std::make_unique<LightGcnModel>(graph, dim, layers, rng);
+  }
+  ContrastiveConfig cc;
+  cc.num_layers = layers;
+  if (backbone == "sgl") {
+    cc.kind = AugmentationKind::kEdgeDropout;
+  } else if (backbone == "simgcl") {
+    cc.kind = AugmentationKind::kEmbeddingNoise;
+  } else if (backbone == "lightgcl") {
+    cc.kind = AugmentationKind::kSvdView;
+  } else {
+    std::fprintf(stderr, "unknown backbone '%s'\n", backbone.c_str());
+    return nullptr;
+  }
+  return std::make_unique<ContrastiveModel>(graph, dim, cc, rng);
+}
+
+}  // namespace bslrec::tools
+
+#endif  // BSLREC_TOOLS_TOOL_UTIL_H_
