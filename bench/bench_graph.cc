@@ -1,0 +1,151 @@
+// Graph-propagation throughput bench: wall-clock for the sharded SpMM
+// and the L-layer mean propagation at 1 / 2 / hardware threads, plus a
+// probe that the results stay bit-identical across worker counts (the
+// sharded-rows contract in graph/propagation.h). Emits machine-readable
+// BENCH_graph.json into the working directory; exits non-zero if any
+// thread count produces different bits.
+//
+// BSLREC_FAST=1 shrinks the graph and repetitions for CI.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "graph/propagation.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using namespace bslrec;  // NOLINT: bench-local convenience
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Point {
+  size_t threads;
+  double spmm_ms;
+  double propagate_ms;
+  std::vector<float> spmm_bits;       // output snapshot for the probe
+  std::vector<float> propagate_bits;
+};
+
+std::vector<size_t> ThreadCounts() {
+  // Always measure 2 workers, even on a single-core host: the point is
+  // to exercise the threaded path and the bit-identical probe; speedup
+  // only materializes where the cores do.
+  const size_t hw = runtime::ResolveNumThreads(0);
+  std::vector<size_t> counts = {1, 2};
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = bench::FastMode();
+  SyntheticConfig cfg;
+  cfg.num_users = fast ? 500 : 4000;
+  cfg.num_items = fast ? 400 : 3000;
+  cfg.num_clusters = 10;
+  cfg.avg_items_per_user = fast ? 15.0 : 25.0;
+  cfg.seed = 88;
+  const Dataset data = GenerateSynthetic(cfg).dataset;
+  const BipartiteGraph graph(data);
+  const SparseMatrix& adj = graph.Adjacency();
+  const size_t dim = fast ? 16 : 64;
+  const int layers = fast ? 2 : 3;
+  const int reps = fast ? 3 : 10;
+
+  std::printf(
+      "graph bench: %u users, %u items, %zu nnz, dim %zu, %d layers\n",
+      graph.num_users(), graph.num_items(), adj.nnz(), dim, layers);
+
+  Rng rng(9);
+  Matrix x(graph.num_nodes(), dim);
+  x.InitGaussian(rng, 0.1f);
+
+  std::vector<Point> points;
+  for (size_t threads : ThreadCounts()) {
+    runtime::ThreadPool pool(threads);
+    graph::PropagationEngine engine(&pool);
+    Point p;
+    p.threads = threads;
+
+    Matrix out(graph.num_nodes(), dim);
+    engine.Multiply(adj, x, out);  // warm-up (sizes engine scratch)
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) engine.Multiply(adj, x, out);
+    p.spmm_ms = SecondsSince(t0) * 1000.0 / reps;
+    p.spmm_bits.assign(out.data(), out.data() + out.size());
+
+    Matrix prop(graph.num_nodes(), dim);
+    engine.MeanPropagate(adj, x, layers, prop);  // warm-up
+    t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) engine.MeanPropagate(adj, x, layers, prop);
+    p.propagate_ms = SecondsSince(t0) * 1000.0 / reps;
+    p.propagate_bits.assign(prop.data(), prop.data() + prop.size());
+
+    std::printf(
+        "threads=%zu  spmm %.2f ms  %d-layer propagate %.2f ms\n",
+        threads, p.spmm_ms, layers, p.propagate_ms);
+    points.push_back(std::move(p));
+  }
+
+  // ---- determinism probe: bits must match the 1-thread baseline ----
+  bool identical = true;
+  for (const Point& p : points) {
+    identical =
+        identical &&
+        std::memcmp(p.spmm_bits.data(), points[0].spmm_bits.data(),
+                    p.spmm_bits.size() * sizeof(float)) == 0 &&
+        std::memcmp(p.propagate_bits.data(), points[0].propagate_bits.data(),
+                    p.propagate_bits.size() * sizeof(float)) == 0;
+  }
+  std::printf("bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — BUG");
+
+  // ---- machine-readable output ----
+  FILE* out = std::fopen("BENCH_graph.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_graph.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
+               runtime::ResolveNumThreads(0));
+  std::fprintf(out,
+               "  \"graph\": {\"users\": %u, \"items\": %u, \"nnz\": %zu, "
+               "\"dim\": %zu, \"layers\": %d},\n",
+               graph.num_users(), graph.num_items(), adj.nnz(), dim, layers);
+  std::fprintf(out, "  \"spmm\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"ms\": %.3f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 p.threads, p.spmm_ms, points[0].spmm_ms / p.spmm_ms,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"propagate\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"ms\": %.3f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 p.threads, p.propagate_ms,
+                 points[0].propagate_ms / p.propagate_ms,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"bit_identical\": %s\n", identical ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_graph.json\n");
+  return identical ? 0 : 1;
+}

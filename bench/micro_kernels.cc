@@ -251,12 +251,13 @@ void BM_GraphPropagation(benchmark::State& state) {
   cfg.seed = 6;
   const Dataset data = GenerateSynthetic(cfg).dataset;
   const BipartiteGraph graph(data);
-  Matrix base(graph.num_nodes(), 16), out(graph.num_nodes(), 16), scratch;
+  Matrix base(graph.num_nodes(), 16), out(graph.num_nodes(), 16);
+  graph::PropagationEngine engine;  // serial: this tracks the raw kernel
   Rng rng(7);
   base.InitGaussian(rng, 0.1f);
   const int layers = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    LightGcnPropagate(graph.Adjacency(), base, layers, out, scratch);
+    engine.MeanPropagate(graph.Adjacency(), base, layers, out);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * graph.Adjacency().nnz() *

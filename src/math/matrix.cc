@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/vec.h"
+
 namespace bslrec {
 
 void Matrix::SetZero() {
@@ -41,15 +43,19 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix& out) {
 void MatMulAccum(const Matrix& a, const Matrix& b, Matrix& out) {
   BSLREC_CHECK(a.cols() == b.rows() && out.rows() == a.rows() &&
                out.cols() == b.cols());
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
+  MatMulAccumRowRange(a, b, out, 0, a.rows());
+}
+
+void MatMulAccumRowRange(const Matrix& a, const Matrix& b, Matrix& out,
+                         size_t row_begin, size_t row_end) {
+  const size_t k = a.cols(), n = b.cols();
+  for (size_t i = row_begin; i < row_end; ++i) {
     const float* ar = a.Row(i);
     float* or_ = out.Row(i);
     for (size_t p = 0; p < k; ++p) {
       const float av = ar[p];
       if (av == 0.0f) continue;
-      const float* br = b.Row(p);
-      for (size_t j = 0; j < n; ++j) or_[j] += av * br[j];
+      vec::Axpy(av, b.Row(p), or_, n);
     }
   }
 }
@@ -74,8 +80,13 @@ void MatTMul(const Matrix& a, const Matrix& b, Matrix& out) {
 void MatMulTAccum(const Matrix& a, const Matrix& b, Matrix& out) {
   BSLREC_CHECK(a.cols() == b.cols() && out.rows() == a.rows() &&
                out.cols() == b.rows());
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
+  MatMulTAccumRowRange(a, b, out, 0, a.rows());
+}
+
+void MatMulTAccumRowRange(const Matrix& a, const Matrix& b, Matrix& out,
+                          size_t row_begin, size_t row_end) {
+  const size_t k = a.cols(), n = b.rows();
+  for (size_t i = row_begin; i < row_end; ++i) {
     const float* ar = a.Row(i);
     float* or_ = out.Row(i);
     for (size_t j = 0; j < n; ++j) {

@@ -86,6 +86,16 @@ void MatTMul(const Matrix& a, const Matrix& b, Matrix& out);
 // out += a * b^T         (a: m x k, b: n x k, out: m x n)
 void MatMulTAccum(const Matrix& a, const Matrix& b, Matrix& out);
 
+// Row-range variants computing only output rows [row_begin, row_end).
+// Output rows are independent in both products, so sharding the range
+// across threads is bit-identical to the full serial product — these are
+// the kernels graph::PropagationEngine fans across its pool. The
+// full-matrix versions above delegate to them over [0, rows).
+void MatMulAccumRowRange(const Matrix& a, const Matrix& b, Matrix& out,
+                         size_t row_begin, size_t row_end);
+void MatMulTAccumRowRange(const Matrix& a, const Matrix& b, Matrix& out,
+                          size_t row_begin, size_t row_end);
+
 }  // namespace bslrec
 
 #endif  // BSLREC_MATH_MATRIX_H_

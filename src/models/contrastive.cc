@@ -8,6 +8,15 @@
 
 namespace bslrec {
 
+namespace {
+
+// Nodes per shard for the SVD projection gather (a rank x d reduction
+// over user/item rows). Fixed, so shard partials — and therefore the
+// reduced projection — never depend on the worker count.
+constexpr size_t kSvdGatherGrain = 256;
+
+}  // namespace
+
 ContrastiveModel::ContrastiveModel(const BipartiteGraph& graph, size_t dim,
                                    const ContrastiveConfig& config, Rng& rng)
     : LightGcnModel(graph, dim, config.num_layers, rng), config_(config) {
@@ -32,7 +41,62 @@ std::string_view ContrastiveModel::name() const {
   return "Contrastive";
 }
 
-void ContrastiveModel::SvdPropagate(const Matrix& in, Matrix& out) const {
+void ContrastiveModel::ProjectFactor(const Matrix& factor,
+                                     const Matrix& current, size_t row_offset,
+                                     size_t count, Matrix& proj) {
+  const size_t d = current.cols();
+  const size_t rank = factor.cols();
+  const size_t num_shards = (count + kSvdGatherGrain - 1) / kSvdGatherGrain;
+  // Sized for the larger of the user/item gathers so the alternating
+  // calls reuse one buffer instead of reshaping (= reallocating) it.
+  const size_t max_rows =
+      std::max<size_t>(num_users_, num_items_) + kSvdGatherGrain - 1;
+  const size_t max_shards = max_rows / kSvdGatherGrain;
+  Matrix& partials =
+      engine_.Workspace(kSvdPartialSlot, max_shards * rank, d);
+  engine_.For(
+      0, count, kSvdGatherGrain,
+      [&](size_t lo, size_t hi, size_t shard, size_t /*worker*/) {
+        float* block = partials.Row(shard * rank);
+        vec::Fill(block, rank * d, 0.0f);
+        for (size_t i = lo; i < hi; ++i) {
+          const float* row = current.Row(row_offset + i);
+          const float* f_row = factor.Row(i);
+          for (size_t r = 0; r < rank; ++r) {
+            vec::Axpy(f_row[r], row, block + r * d, d);
+          }
+        }
+      });
+  proj.SetZero();
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    for (size_t r = 0; r < rank; ++r) {
+      vec::Axpy(1.0f, partials.Row(shard * rank + r), proj.Row(r), d);
+    }
+  }
+  for (size_t r = 0; r < rank; ++r) {
+    vec::Scale(proj.Row(r), d, svd_->singular[r]);
+  }
+}
+
+void ContrastiveModel::BroadcastFactor(const Matrix& factor,
+                                       const Matrix& proj, size_t row_offset,
+                                       size_t count, Matrix& next) {
+  const size_t d = proj.cols();
+  const size_t rank = factor.cols();
+  engine_.For(0, count, engine_.row_grain(),
+              [&](size_t lo, size_t hi, size_t, size_t) {
+                for (size_t i = lo; i < hi; ++i) {
+                  float* row = next.Row(row_offset + i);
+                  vec::Fill(row, d, 0.0f);
+                  const float* f_row = factor.Row(i);
+                  for (size_t r = 0; r < rank; ++r) {
+                    vec::Axpy(f_row[r], proj.Row(r), row, d);
+                  }
+                }
+              });
+}
+
+void ContrastiveModel::SvdPropagate(const Matrix& in, Matrix& out) {
   BSLREC_CHECK(svd_.has_value());
   const size_t d = in.cols();
   const size_t rank = svd_->singular.size();
@@ -41,56 +105,20 @@ void ContrastiveModel::SvdPropagate(const Matrix& in, Matrix& out) const {
   // out_users = U (S ⊙ (V^T in_items)); out_items = V (S ⊙ (U^T in_users)).
   // One application of the symmetric operator M = [[0, USV^T],[VSU^T, 0]];
   // the LightGCL view is the mean over propagation depths, mirroring the
-  // LightGCN readout.
-  Matrix current = in;
+  // LightGCN readout. The projection gathers reduce per-shard partials in
+  // shard order; the broadcasts shard disjoint output rows.
+  Matrix& current = engine_.Workspace(kSvdCurSlot, in.rows(), d);
+  Matrix& next = engine_.Workspace(kSvdNextSlot, in.rows(), d);
+  Matrix& proj = engine_.Workspace(kSvdProjSlot, rank, d);
+  current = in;
   out = in;  // depth-0 term
-  Matrix next(in.rows(), d);
-  Matrix proj(rank, d);
   for (int layer = 1; layer <= num_layers_; ++layer) {
-    // proj = S ⊙ (V^T current_items)
-    for (size_t r = 0; r < rank; ++r) {
-      for (size_t c = 0; c < d; ++c) proj.At(r, c) = 0.0f;
-    }
-    for (uint32_t i = 0; i < num_i; ++i) {
-      const float* row = current.Row(num_u + i);
-      const float* v_row = svd_->v.Row(i);
-      for (size_t r = 0; r < rank; ++r) {
-        vec::Axpy(v_row[r], row, proj.Row(r), d);
-      }
-    }
-    for (size_t r = 0; r < rank; ++r) {
-      vec::Scale(proj.Row(r), d, svd_->singular[r]);
-    }
-    for (uint32_t u = 0; u < num_u; ++u) {
-      float* row = next.Row(u);
-      vec::Fill(row, d, 0.0f);
-      const float* u_row = svd_->u.Row(u);
-      for (size_t r = 0; r < rank; ++r) {
-        vec::Axpy(u_row[r], proj.Row(r), row, d);
-      }
-    }
-    // proj = S ⊙ (U^T current_users)
-    for (size_t r = 0; r < rank; ++r) {
-      vec::Fill(proj.Row(r), d, 0.0f);
-    }
-    for (uint32_t u = 0; u < num_u; ++u) {
-      const float* row = current.Row(u);
-      const float* u_row = svd_->u.Row(u);
-      for (size_t r = 0; r < rank; ++r) {
-        vec::Axpy(u_row[r], row, proj.Row(r), d);
-      }
-    }
-    for (size_t r = 0; r < rank; ++r) {
-      vec::Scale(proj.Row(r), d, svd_->singular[r]);
-    }
-    for (uint32_t i = 0; i < num_i; ++i) {
-      float* row = next.Row(num_u + i);
-      vec::Fill(row, d, 0.0f);
-      const float* v_row = svd_->v.Row(i);
-      for (size_t r = 0; r < rank; ++r) {
-        vec::Axpy(v_row[r], proj.Row(r), row, d);
-      }
-    }
+    // proj = S ⊙ (V^T current_items), then broadcast through U.
+    ProjectFactor(svd_->v, current, num_u, num_i, proj);
+    BroadcastFactor(svd_->u, proj, 0, num_u, next);
+    // proj = S ⊙ (U^T current_users), then broadcast through V.
+    ProjectFactor(svd_->u, current, 0, num_u, proj);
+    BroadcastFactor(svd_->v, proj, num_u, num_i, next);
     std::swap(current, next);
     out.AddScaled(current, 1.0f);
   }
@@ -100,18 +128,21 @@ void ContrastiveModel::SvdPropagate(const Matrix& in, Matrix& out) const {
 
 void ContrastiveModel::BuildView(const Matrix& in, Matrix& out, Rng& rng,
                                  std::optional<SparseMatrix>& dropped_graph) {
-  Matrix scratch;
   switch (config_.kind) {
     case AugmentationKind::kEdgeDropout: {
+      // The dropped adjacency is a fresh random topology per view (drawn
+      // serially from rng); its propagation still runs through the
+      // shared engine.
       dropped_graph = graph_.EdgeDropout(config_.edge_drop_rate, rng);
-      LightGcnPropagate(*dropped_graph, in, num_layers_, out, scratch);
+      engine_.MeanPropagate(*dropped_graph, in, num_layers_, out);
       return;
     }
     case AugmentationKind::kEmbeddingNoise: {
       dropped_graph.reset();
-      LightGcnPropagate(graph_.Adjacency(), in, num_layers_, out, scratch);
+      engine_.MeanPropagate(graph_.Adjacency(), in, num_layers_, out);
       // Detached additive noise: row-wise random direction scaled to
       // `noise_magnitude`, sign-aligned with the embedding as in SimGCL.
+      // Serial on the calling thread: one RNG stream, fixed draw order.
       const size_t d = in.cols();
       std::vector<float> noise(d);
       for (size_t r = 0; r < out.rows(); ++r) {
@@ -138,22 +169,25 @@ void ContrastiveModel::BuildView(const Matrix& in, Matrix& out, Rng& rng,
 
 void ContrastiveModel::BackwardView(
     const Matrix& grad, const std::optional<SparseMatrix>& dropped_graph) {
-  Matrix back(grad.rows(), grad.cols());
-  Matrix scratch;
   switch (config_.kind) {
     case AugmentationKind::kEdgeDropout:
       BSLREC_CHECK(dropped_graph.has_value());
-      LightGcnPropagate(*dropped_graph, grad, num_layers_, back, scratch);
+      engine_.MeanPropagateAccum(*dropped_graph, grad, num_layers_,
+                                 base_grad_);
       break;
     case AugmentationKind::kEmbeddingNoise:
       // Additive noise is constant w.r.t. parameters.
-      LightGcnPropagate(graph_.Adjacency(), grad, num_layers_, back, scratch);
+      engine_.MeanPropagateAccum(graph_.Adjacency(), grad, num_layers_,
+                                 base_grad_);
       break;
-    case AugmentationKind::kSvdView:
+    case AugmentationKind::kSvdView: {
+      Matrix& back =
+          engine_.Workspace(kViewBackSlot, grad.rows(), grad.cols());
       SvdPropagate(grad, back);  // operator is symmetric
+      base_grad_.AddScaled(back, 1.0f);
       break;
+    }
   }
-  base_grad_.AddScaled(back, 1.0f);
 }
 
 namespace {
@@ -210,13 +244,13 @@ double ContrastiveModel::AuxLossAndGrad(std::span<const uint32_t> batch_users,
                                         std::span<const uint32_t> batch_items,
                                         Rng& rng) {
   const size_t n = graph_.num_nodes();
-  Matrix z1(n, dim_), z2(n, dim_);
+  Matrix& z1 = engine_.Workspace(kView1Slot, n, dim_);
+  Matrix& z2 = engine_.Workspace(kView2Slot, n, dim_);
   std::optional<SparseMatrix> g1_graph, g2_graph;
   // LightGCL contrasts the main propagation with the SVD view; SGL and
   // SimGCL contrast two independent augmentations.
   if (config_.kind == AugmentationKind::kSvdView) {
-    Matrix scratch;
-    LightGcnPropagate(graph_.Adjacency(), base_, num_layers_, z1, scratch);
+    engine_.MeanPropagate(graph_.Adjacency(), base_, num_layers_, z1);
     SvdPropagate(base_, z2);
   } else {
     BuildView(base_, z1, rng, g1_graph);
@@ -238,7 +272,10 @@ double ContrastiveModel::AuxLossAndGrad(std::span<const uint32_t> batch_users,
   std::vector<uint32_t> item_nodes = cap(batch_items);
   for (uint32_t& node : item_nodes) node += num_users_;
 
-  Matrix grad1(n, dim_), grad2(n, dim_);
+  Matrix& grad1 = engine_.Workspace(kGrad1Slot, n, dim_);
+  Matrix& grad2 = engine_.Workspace(kGrad2Slot, n, dim_);
+  grad1.SetZero();
+  grad2.SetZero();
   double loss = 0.0;
   loss += InfoNceSet(z1, z2, user_nodes, config_.tau_contrast,
                      config_.lambda, grad1, grad2);
@@ -247,9 +284,9 @@ double ContrastiveModel::AuxLossAndGrad(std::span<const uint32_t> batch_users,
 
   if (config_.kind == AugmentationKind::kSvdView) {
     // grad1 flows through the main propagation, grad2 through the SVD.
-    Matrix back(n, dim_), scratch;
-    LightGcnPropagate(graph_.Adjacency(), grad1, num_layers_, back, scratch);
-    base_grad_.AddScaled(back, 1.0f);
+    engine_.MeanPropagateAccum(graph_.Adjacency(), grad1, num_layers_,
+                               base_grad_);
+    Matrix& back = engine_.Workspace(kViewBackSlot, n, dim_);
     SvdPropagate(grad2, back);
     base_grad_.AddScaled(back, 1.0f);
   } else {

@@ -16,6 +16,15 @@
 // view operator applied to the InfoNCE gradients — no activation caches
 // needed. The InfoNCE is computed over the distinct users and distinct
 // items of the current batch (in-batch negatives), the standard protocol.
+//
+// All view propagation — clean, edge-dropped, and SVD — runs through the
+// trunk's graph::PropagationEngine, so the trainer's thread budget
+// governs the aux pass too and the view buffers live in the engine's
+// persistent workspace (no per-batch matrix allocation beyond the
+// edge-dropped adjacency itself, which is a fresh random topology by
+// construction). Augmentation randomness (edge draws, noise) stays on
+// the calling thread in serial draw order, keeping results bit-identical
+// for any worker count.
 #ifndef BSLREC_MODELS_CONTRASTIVE_H_
 #define BSLREC_MODELS_CONTRASTIVE_H_
 
@@ -66,6 +75,19 @@ class ContrastiveModel : public LightGcnModel {
   const ContrastiveConfig& config() const { return config_; }
 
  private:
+  // Engine workspace slots for the aux pass (see engine_.Workspace).
+  enum ContrastiveSlot : size_t {
+    kView1Slot = kFirstFreeSlot,
+    kView2Slot,
+    kGrad1Slot,
+    kGrad2Slot,
+    kSvdCurSlot,
+    kSvdNextSlot,
+    kSvdProjSlot,
+    kSvdPartialSlot,
+    kViewBackSlot,
+  };
+
   // Applies this model's view operator: out = ViewProp(in), plus additive
   // noise for SimGCL (returned separately so backward skips it).
   void BuildView(const Matrix& in, Matrix& out, Rng& rng,
@@ -73,8 +95,18 @@ class ContrastiveModel : public LightGcnModel {
   // Backward through the view operator: base_grad_ += ViewProp(grad).
   void BackwardView(const Matrix& grad,
                     const std::optional<SparseMatrix>& dropped_graph);
-  // Rank-q symmetric low-rank propagation (LightGCL view).
-  void SvdPropagate(const Matrix& in, Matrix& out) const;
+  // Rank-q symmetric low-rank propagation (LightGCL view). `out` must
+  // not be one of the engine's SVD workspace slots.
+  void SvdPropagate(const Matrix& in, Matrix& out);
+  // proj = diag(S) * factor^T * current[row_offset .. row_offset+count):
+  // a full-row reduction, computed as fixed-grain per-shard partials
+  // reduced serially in shard order (bit-identical for any pool size).
+  void ProjectFactor(const Matrix& factor, const Matrix& current,
+                     size_t row_offset, size_t count, Matrix& proj);
+  // next[row_offset .. row_offset+count) = factor * proj — the gather's
+  // mirror image, sharded over the disjoint output rows.
+  void BroadcastFactor(const Matrix& factor, const Matrix& proj,
+                       size_t row_offset, size_t count, Matrix& next);
 
   ContrastiveConfig config_;
   std::optional<SvdResult> svd_;  // present iff kind == kSvdView

@@ -6,25 +6,6 @@
 
 namespace bslrec {
 
-void LightGcnPropagate(const SparseMatrix& adjacency, const Matrix& base,
-                       int num_layers, Matrix& out, Matrix& scratch) {
-  BSLREC_CHECK(num_layers >= 0);
-  BSLREC_CHECK(adjacency.rows() == base.rows() &&
-               adjacency.cols() == base.rows());
-  out = base;  // layer-0 term
-  Matrix current = base;
-  for (int layer = 1; layer <= num_layers; ++layer) {
-    if (scratch.rows() != base.rows() || scratch.cols() != base.cols()) {
-      scratch = Matrix(base.rows(), base.cols());
-    }
-    adjacency.Multiply(current, scratch);
-    std::swap(current, scratch);
-    out.AddScaled(current, 1.0f);
-  }
-  const float inv = 1.0f / static_cast<float>(num_layers + 1);
-  for (size_t k = 0; k < out.size(); ++k) out.data()[k] *= inv;
-}
-
 LightGcnModel::LightGcnModel(const BipartiteGraph& graph, size_t dim,
                              int num_layers, Rng& rng)
     : EmbeddingModel(graph.num_users(), graph.num_items(), dim),
@@ -33,7 +14,12 @@ LightGcnModel::LightGcnModel(const BipartiteGraph& graph, size_t dim,
       base_(graph.num_nodes(), dim),
       base_grad_(graph.num_nodes(), dim),
       combined_(graph.num_nodes(), dim) {
+  BSLREC_CHECK(num_layers >= 0);
   base_.InitXavierUniform(rng);
+}
+
+void LightGcnModel::SetRuntime(runtime::ThreadPool* pool) {
+  engine_.SetPool(pool);
 }
 
 void LightGcnModel::SplitFinal(const Matrix& combined) {
@@ -59,20 +45,19 @@ void LightGcnModel::GatherFinalGrad(Matrix& combined) const {
 }
 
 void LightGcnModel::Forward(Rng&) {
-  LightGcnPropagate(graph_.Adjacency(), base_, num_layers_, combined_,
-                    scratch_a_);
+  engine_.MeanPropagate(graph_.Adjacency(), base_, num_layers_, combined_);
   SplitFinal(combined_);
 }
 
 void LightGcnModel::Backward() {
   // The propagation operator P = 1/(L+1) sum A^k is symmetric, so
-  // dL/dBase = P (dL/dFinal).
-  Matrix grad_combined(graph_.num_nodes(), dim_);
+  // dL/dBase = P (dL/dFinal). Both temporaries live in the engine's
+  // persistent workspace — no per-call allocation.
+  Matrix& grad_combined =
+      engine_.Workspace(kGradCombinedSlot, graph_.num_nodes(), dim_);
   GatherFinalGrad(grad_combined);
-  Matrix back(graph_.num_nodes(), dim_);
-  LightGcnPropagate(graph_.Adjacency(), grad_combined, num_layers_, back,
-                    scratch_b_);
-  base_grad_.AddScaled(back, 1.0f);
+  engine_.MeanPropagateAccum(graph_.Adjacency(), grad_combined, num_layers_,
+                             base_grad_);
 }
 
 std::vector<ParamGrad> LightGcnModel::Params() {

@@ -8,6 +8,12 @@
 // over the symmetric normalized adjacency A_hat. Because the propagation
 // is linear and A_hat is symmetric, the backward pass applies the *same*
 // operator to the final-embedding gradients.
+//
+// All propagation runs through a graph::PropagationEngine: SetRuntime
+// hands it the owner's thread pool (the trainer does this automatically)
+// and the engine's persistent workspaces make steady-state Forward and
+// Backward passes allocation-free. Results are bit-identical for any
+// worker count (graph/propagation.h design notes).
 #ifndef BSLREC_MODELS_LIGHTGCN_H_
 #define BSLREC_MODELS_LIGHTGCN_H_
 
@@ -16,11 +22,6 @@
 
 namespace bslrec {
 
-// Mean-of-powers propagation: out = 1/(L+1) sum_{k<=L} A^k base.
-// Exposed for reuse by the contrastive backbones and by tests.
-void LightGcnPropagate(const SparseMatrix& adjacency, const Matrix& base,
-                       int num_layers, Matrix& out, Matrix& scratch);
-
 class LightGcnModel : public EmbeddingModel {
  public:
   // `graph` must outlive the model.
@@ -28,6 +29,7 @@ class LightGcnModel : public EmbeddingModel {
                 Rng& rng);
 
   std::string_view name() const override { return "LightGCN"; }
+  void SetRuntime(runtime::ThreadPool* pool) override;
   void Forward(Rng& rng) override;
   void Backward() override;
   std::vector<ParamGrad> Params() override;
@@ -35,17 +37,23 @@ class LightGcnModel : public EmbeddingModel {
   int num_layers() const { return num_layers_; }
 
  protected:
+  // Engine workspace slots shared across the LightGCN family. Subclasses
+  // (ContrastiveModel) start their own slots at kFirstFreeSlot.
+  enum WorkspaceSlot : size_t {
+    kGradCombinedSlot = 0,
+    kFirstFreeSlot,
+  };
+
   // Shared helpers for subclasses / siblings with combined node storage.
   void SplitFinal(const Matrix& combined);
   void GatherFinalGrad(Matrix& combined) const;
 
   const BipartiteGraph& graph_;
   int num_layers_;
+  graph::PropagationEngine engine_;  // pool attached via SetRuntime
   Matrix base_;        // (U+I) x d parameter table
   Matrix base_grad_;   // parameter gradients
   Matrix combined_;    // propagated (U+I) x d final embeddings
-  Matrix scratch_a_;   // propagation work buffers
-  Matrix scratch_b_;
 };
 
 }  // namespace bslrec

@@ -23,4 +23,8 @@ double EmbeddingModel::AuxLossAndGrad(std::span<const uint32_t>,
   return 0.0;
 }
 
+void EmbeddingModel::SetRuntime(runtime::ThreadPool*) {
+  // Default: nothing to parallelize (MF's Forward is a table copy).
+}
+
 }  // namespace bslrec

@@ -28,6 +28,10 @@
 
 namespace bslrec {
 
+namespace runtime {
+class ThreadPool;
+}  // namespace runtime
+
 // A parameter tensor paired with its gradient accumulator.
 struct ParamGrad {
   Matrix* value;
@@ -43,6 +47,15 @@ class EmbeddingModel {
   EmbeddingModel& operator=(const EmbeddingModel&) = delete;
 
   virtual std::string_view name() const = 0;
+
+  // Hands the model an execution runtime: backbones with heavy linear
+  // algebra (graph propagation) route their Forward/Backward through
+  // `pool`, so the owner's thread budget governs model compute too. The
+  // trainer attaches its pool at construction and detaches (nullptr) on
+  // destruction. nullptr means serial execution; either way results are
+  // bit-identical (the sharded-rows contract in graph/propagation.h).
+  // `pool` must outlive the model or be detached before it dies.
+  virtual void SetRuntime(runtime::ThreadPool* pool);
 
   uint32_t num_users() const { return num_users_; }
   uint32_t num_items() const { return num_items_; }

@@ -13,7 +13,13 @@
 // Message dropout is omitted for determinism.
 //
 // Unlike LightGCN the propagation is nonlinear, so Backward runs a true
-// reverse pass over cached layer activations.
+// reverse pass over cached layer activations. The per-layer propagation,
+// dense transforms, and element-wise maps all run through a
+// graph::PropagationEngine (row-sharded, bit-identical for any worker
+// count); layer caches and reverse-pass buffers are preallocated in the
+// constructor so steady-state passes do not allocate. The d x d weight
+// gradients (MatTMul reductions) stay serial to keep their summation
+// tree fixed.
 #ifndef BSLREC_MODELS_NGCF_H_
 #define BSLREC_MODELS_NGCF_H_
 
@@ -31,6 +37,7 @@ class NgcfModel : public EmbeddingModel {
             Rng& rng);
 
   std::string_view name() const override { return "NGCF"; }
+  void SetRuntime(runtime::ThreadPool* pool) override;
   void Forward(Rng& rng) override;
   void Backward() override;
   std::vector<ParamGrad> Params() override;
@@ -38,16 +45,28 @@ class NgcfModel : public EmbeddingModel {
   static constexpr float kLeakySlope = 0.2f;
 
  private:
+  // Sizes the reverse-pass buffers on the first Backward (no-op after);
+  // forward-only models never allocate them.
+  void EnsureBackwardBuffers();
+
   const BipartiteGraph& graph_;
   int num_layers_;
+  graph::PropagationEngine engine_;  // pool attached via SetRuntime
   Matrix base_;
   Matrix base_grad_;
   std::vector<Matrix> w1_, w1_grad_;  // per-layer d x d transforms
   std::vector<Matrix> w2_, w2_grad_;
-  // Forward caches (valid between Forward and Backward).
+  // Forward caches (valid between Forward and Backward), preallocated
+  // in the constructor.
   std::vector<Matrix> e_;  // E^0..E^L
   std::vector<Matrix> s_;  // A_hat E^l per layer
   std::vector<Matrix> h_;  // pre-activation per layer
+  Matrix combined_, x1_, x2_;
+  bool forward_ran_ = false;
+  // Reverse-pass buffers, sized by EnsureBackwardBuffers.
+  std::vector<Matrix> d_e_;  // accumulated gradient at E^l
+  Matrix grad_readout_, dh_, dx_, ds_, prop_;
+  Matrix tmp_w_;  // d x d weight-gradient staging
 };
 
 }  // namespace bslrec

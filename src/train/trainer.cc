@@ -52,6 +52,9 @@ Trainer::Trainer(const Dataset& data, EmbeddingModel& model,
     optimizer_ =
         std::make_unique<SgdOptimizer>(config.lr, config.weight_decay);
   }
+  // Route the model's own heavy compute (graph propagation, contrastive
+  // views) through the trainer's pool as well.
+  model_.SetRuntime(pool_.get());
   const size_t d = model.dim();
   const size_t n_neg = config.num_negatives;
   for (WorkerScratch& ws : scratch_) {
@@ -67,6 +70,8 @@ Trainer::Trainer(const Dataset& data, EmbeddingModel& model,
     ws.d_neg.resize(n_neg);
   }
 }
+
+Trainer::~Trainer() { model_.SetRuntime(nullptr); }
 
 double Trainer::ReduceShards(size_t num_shards) {
   const size_t d = model_.dim();

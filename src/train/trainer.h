@@ -18,6 +18,12 @@
 // results are bit-identical for any `TrainConfig::runtime.num_threads`
 // (see runtime/thread_pool.h for the determinism contract).
 //
+// The trainer also hands its pool to the model (`SetRuntime`), so graph
+// backbones run steps 1 and 6 — propagation in Forward/Backward and the
+// contrastive aux pass — through the same worker budget (the sharded
+// kernels in graph/propagation.h keep those bit-identical too). The
+// pool is detached again when the trainer is destroyed.
+//
 // Evaluation runs every `eval_every` epochs on the held-out test split;
 // the best checkpoint metrics (by NDCG) are reported, emulating the
 // paper's early-stopping/grid protocol without storing weights.
@@ -91,6 +97,9 @@ class Trainer {
   Trainer(const Dataset& data, EmbeddingModel& model,
           const LossFunction& loss, const NegativeSampler& sampler,
           const TrainConfig& config);
+  // Detaches the trainer's pool from the model (the pool dies with the
+  // trainer; the model may outlive it).
+  ~Trainer();
 
   // Runs the configured number of epochs with periodic evaluation.
   TrainResult Train();

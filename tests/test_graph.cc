@@ -1,5 +1,6 @@
 #include "graph/bipartite_graph.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -153,6 +154,74 @@ TEST(BipartiteGraph, EdgeDropoutZeroKeepsEverything) {
   Rng rng(7);
   const SparseMatrix dropped = g.EdgeDropout(0.0, rng);
   EXPECT_EQ(dropped.nnz(), g.Adjacency().nnz());
+}
+
+TEST(BipartiteGraph, EdgeDropoutZeroReproducesBaseAdjacencyExactly) {
+  // p = 0 keeps every edge and rescales by 1/(1-0) = 1: the dropped
+  // adjacency must be structurally and numerically identical.
+  const Dataset d = testing::TinyDataset();
+  const BipartiteGraph g(d);
+  Rng rng(17);
+  const SparseMatrix dropped = g.EdgeDropout(0.0, rng);
+  const SparseMatrix& base = g.Adjacency();
+  EXPECT_EQ(dropped.row_offsets(), base.row_offsets());
+  EXPECT_EQ(dropped.col_indices(), base.col_indices());
+  ASSERT_EQ(dropped.values().size(), base.values().size());
+  for (size_t k = 0; k < base.values().size(); ++k) {
+    EXPECT_EQ(dropped.values()[k], base.values()[k]) << "nnz " << k;
+  }
+}
+
+TEST(BipartiteGraph, EdgeDropoutRenormalizesSurvivors) {
+  // Surviving edges keep the *original* degree normalization scaled by
+  // 1/(1-p) (inverted dropout). With p = 0.5 every surviving weight is
+  // exactly twice its clean-graph counterpart.
+  SyntheticConfig c;
+  c.num_users = 60;
+  c.num_items = 50;
+  c.avg_items_per_user = 10.0;
+  c.seed = 18;
+  const Dataset d = GenerateSynthetic(c).dataset;
+  const BipartiteGraph g(d);
+  Rng rng(19);
+  const SparseMatrix dropped = g.EdgeDropout(0.5, rng);
+  const SparseMatrix& base = g.Adjacency();
+  ASSERT_LT(dropped.nnz(), base.nnz());  // something actually dropped
+  ASSERT_GT(dropped.nnz(), 0u);
+  for (size_t r = 0; r < dropped.rows(); ++r) {
+    for (size_t k = dropped.row_offsets()[r]; k < dropped.row_offsets()[r + 1];
+         ++k) {
+      const uint32_t col = dropped.col_indices()[k];
+      // Locate (r, col) in the base adjacency (CSR columns are sorted).
+      const auto begin = base.col_indices().begin() + base.row_offsets()[r];
+      const auto end = base.col_indices().begin() + base.row_offsets()[r + 1];
+      const auto it = std::lower_bound(begin, end, col);
+      ASSERT_TRUE(it != end && *it == col) << "surviving edge not in base";
+      const size_t base_k =
+          static_cast<size_t>(it - base.col_indices().begin());
+      EXPECT_FLOAT_EQ(dropped.values()[k], 2.0f * base.values()[base_k])
+          << "row " << r << " col " << col;
+    }
+  }
+}
+
+TEST(BipartiteGraph, EdgeDropoutDeterministicUnderSeededRng) {
+  SyntheticConfig c;
+  c.num_users = 40;
+  c.num_items = 30;
+  c.seed = 20;
+  const Dataset d = GenerateSynthetic(c).dataset;
+  const BipartiteGraph g(d);
+  Rng a(99), b(99);
+  const SparseMatrix d1 = g.EdgeDropout(0.3, a);
+  const SparseMatrix d2 = g.EdgeDropout(0.3, b);
+  EXPECT_EQ(d1.row_offsets(), d2.row_offsets());
+  EXPECT_EQ(d1.col_indices(), d2.col_indices());
+  EXPECT_EQ(d1.values(), d2.values());
+  // A different seed draws a different graph (overwhelmingly likely).
+  Rng other(100);
+  const SparseMatrix d3 = g.EdgeDropout(0.3, other);
+  EXPECT_NE(d1.col_indices(), d3.col_indices());
 }
 
 TEST(BipartiteGraph, EdgeDropoutRescalePreservesExpectation) {

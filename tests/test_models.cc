@@ -121,9 +121,9 @@ TEST(LightGcnPropagateTest, ZeroLayersIsIdentity) {
   Rng rng(4);
   Matrix base(g.num_nodes(), 3);
   base.InitGaussian(rng, 1.0f);
-  Matrix out, scratch;
-  out = Matrix(g.num_nodes(), 3);
-  LightGcnPropagate(g.Adjacency(), base, 0, out, scratch);
+  Matrix out(g.num_nodes(), 3);
+  graph::PropagationEngine engine;
+  engine.MeanPropagate(g.Adjacency(), base, 0, out);
   for (size_t k = 0; k < base.size(); ++k) {
     EXPECT_FLOAT_EQ(out.data()[k], base.data()[k]);
   }
@@ -137,13 +137,13 @@ TEST(LightGcnPropagateTest, IsLinear) {
   x.InitGaussian(rng, 1.0f);
   y.InitGaussian(rng, 1.0f);
   Matrix px(g.num_nodes(), 2), py(g.num_nodes(), 2), pxy(g.num_nodes(), 2);
-  Matrix scratch;
-  LightGcnPropagate(g.Adjacency(), x, 3, px, scratch);
-  LightGcnPropagate(g.Adjacency(), y, 3, py, scratch);
+  graph::PropagationEngine engine;
+  engine.MeanPropagate(g.Adjacency(), x, 3, px);
+  engine.MeanPropagate(g.Adjacency(), y, 3, py);
   Matrix sum(g.num_nodes(), 2);
   sum.AddScaled(x, 2.0f);
   sum.AddScaled(y, -1.0f);
-  LightGcnPropagate(g.Adjacency(), sum, 3, pxy, scratch);
+  engine.MeanPropagate(g.Adjacency(), sum, 3, pxy);
   for (size_t k = 0; k < pxy.size(); ++k) {
     EXPECT_NEAR(pxy.data()[k], 2.0f * px.data()[k] - py.data()[k], 1e-4f);
   }
@@ -158,9 +158,10 @@ TEST(LightGcnPropagateTest, OperatorIsSelfAdjoint) {
   Matrix x(g.num_nodes(), 2), y(g.num_nodes(), 2);
   x.InitGaussian(rng, 1.0f);
   y.InitGaussian(rng, 1.0f);
-  Matrix px(g.num_nodes(), 2), py(g.num_nodes(), 2), scratch;
-  LightGcnPropagate(g.Adjacency(), x, 2, px, scratch);
-  LightGcnPropagate(g.Adjacency(), y, 2, py, scratch);
+  Matrix px(g.num_nodes(), 2), py(g.num_nodes(), 2);
+  graph::PropagationEngine engine;
+  engine.MeanPropagate(g.Adjacency(), x, 2, px);
+  engine.MeanPropagate(g.Adjacency(), y, 2, py);
   double lhs = 0.0, rhs = 0.0;
   for (size_t k = 0; k < px.size(); ++k) {
     lhs += static_cast<double>(px.data()[k]) * y.data()[k];

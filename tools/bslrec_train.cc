@@ -71,7 +71,9 @@ void Usage() {
       "                    [--eval-every=N] [--eval-k=N] [--seed=N]\n"
       "                    [--threads=N] [--save=F] [--load=F]\n"
       "\n"
-      "--threads: worker count for training/evaluation (0 = one per\n"
+      "--threads: worker count for training, evaluation, and graph\n"
+      "propagation — the trainer hands its pool to the model, so GCN\n"
+      "backbones' Forward/Backward parallelize too (0 = one per\n"
       "hardware thread, 1 = serial). Results are bit-identical for any\n"
       "value.\n");
 }
