@@ -1,0 +1,436 @@
+// Negative-sampling pipeline bench: throughput of the counter-based
+// parallel sampling + fused batch-scoring path that replaced the serial
+// pre-draw stage (PR 4), measured three ways:
+//
+//   1. raw draws/sec per sampler — the legacy sequential API on one
+//      thread vs the counter-based stream API fanned over 1/2/hw
+//      workers;
+//   2. the sampling+scoring *stage* in isolation — the old pipeline
+//      (serial pre-draw on the calling thread, then parallel per-row
+//      Normalize + Dot scoring) vs the new one (in-shard stream draws,
+//      vec::GatherNormalize + vec::DotBatch), at 1/2/hw workers;
+//   3. the real trainer's samples/sec over one epoch at 1/2/hw workers.
+//
+// Every parallel measurement doubles as a determinism gate: per-shard
+// checksums (reduced in shard order) and the trainer's first-epoch loss
+// must be bit-identical across worker counts; the process exits non-zero
+// on any mismatch, which is what CI's bench-smoke job checks. Emits
+// machine-readable BENCH_sampling.json into the working directory.
+//
+// BSLREC_FAST=1 shrinks the dataset and repetitions for CI.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/losses.h"
+#include "data/synthetic.h"
+#include "math/matrix.h"
+#include "math/rng.h"
+#include "math/vec.h"
+#include "models/mf.h"
+#include "runtime/thread_pool.h"
+#include "sampling/negative_sampler.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace bslrec;  // NOLINT: bench-local convenience
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<size_t> ThreadCounts() {
+  // Always measure 2 workers, even on a single-core host: the point is
+  // to exercise the threaded path and the bit-identical probe; speedup
+  // only materializes where the cores do.
+  const size_t hw = runtime::ResolveNumThreads(0);
+  std::vector<size_t> counts = {1, 2};
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+constexpr uint64_t kStreamSeed = 0xBE7C5EEDULL;
+constexpr size_t kGrain = 32;   // matches the trainer's sampled grain
+constexpr int kStageReps = 3;   // best-of reps for the stage pipelines
+
+struct Point {
+  size_t threads;
+  double per_sec;     // draws/sec or samples/sec depending on section
+  uint64_t checksum;  // per-shard-reduced probe value
+};
+
+// Per-worker scratch for the stage pipelines.
+struct Scratch {
+  std::vector<uint32_t> negs;
+  std::vector<float> u_hat, j_norm, scores;
+  Matrix j_hat;
+};
+
+// ---- section 1: raw draw throughput --------------------------------------
+
+// One uniform fingerprint for a drawn block: position-weighted so draw
+// order matters, summed per shard and reduced in shard order.
+uint64_t BlockChecksum(const uint32_t* negs, size_t n) {
+  uint64_t c = 0;
+  for (size_t j = 0; j < n; ++j) {
+    c += (static_cast<uint64_t>(j) + 1) * (static_cast<uint64_t>(negs[j]) + 1);
+  }
+  return c;
+}
+
+double LegacyDrawsPerSec(const NegativeSampler& sampler, const Dataset& data,
+                         size_t num_samples, size_t n_neg) {
+  Rng rng(11);
+  std::vector<uint32_t> out;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t s = 0; s < num_samples; ++s) {
+    sampler.Sample(static_cast<uint32_t>(s % data.num_users()), n_neg, rng,
+                   out);
+  }
+  return static_cast<double>(num_samples * n_neg) / SecondsSince(t0);
+}
+
+Point StreamDraws(const NegativeSampler& sampler, const Dataset& data,
+                  size_t num_samples, size_t n_neg, size_t threads) {
+  runtime::ThreadPool pool(threads);
+  const SamplerDispatch sample = sampler.Dispatch();
+  std::vector<std::vector<uint32_t>> bufs(pool.num_workers(),
+                                          std::vector<uint32_t>(n_neg));
+  const size_t num_shards = (num_samples + kGrain - 1) / kGrain;
+  std::vector<uint64_t> shard_sums(num_shards);
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime::ParallelFor(
+      pool, 0, num_samples, kGrain,
+      [&](size_t lo, size_t hi, size_t shard, size_t worker) {
+        uint32_t* buf = bufs[worker].data();
+        uint64_t sum = 0;
+        for (size_t s = lo; s < hi; ++s) {
+          StreamRng stream(kStreamSeed, /*epoch=*/0, s);
+          sample(static_cast<uint32_t>(s % data.num_users()), stream,
+                 {buf, n_neg});
+          sum += BlockChecksum(buf, n_neg);
+        }
+        shard_sums[shard] = sum;
+      });
+  const double secs = SecondsSince(t0);
+  uint64_t checksum = 0;
+  for (uint64_t s : shard_sums) checksum += s;
+  return {threads, static_cast<double>(num_samples * n_neg) / secs, checksum};
+}
+
+// ---- section 2: sampling + scoring stage ---------------------------------
+
+// Reinterprets a double bit pattern as u64 so score sums can feed the
+// exact-equality probe without any tolerance.
+uint64_t Bits(double x) {
+  uint64_t u;
+  static_assert(sizeof(u) == sizeof(x));
+  __builtin_memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+// The pre-PR-4 pipeline: negatives for the whole block are drawn
+// serially on the calling thread from one sequential stream, then the
+// scoring loop fans out and does one strided Normalize + Dot per draw.
+Point SerialPredrawStage(const NegativeSampler& sampler, const MfModel& model,
+                         const std::vector<Edge>& edges, size_t n_neg,
+                         size_t threads) {
+  runtime::ThreadPool pool(threads);
+  const size_t d = model.dim();
+  const size_t b = edges.size();
+  std::vector<Scratch> scratch(pool.num_workers());
+  for (Scratch& ws : scratch) {
+    ws.u_hat.resize(d);
+    ws.j_norm.resize(n_neg);
+    ws.scores.resize(n_neg);
+    ws.j_hat = Matrix(n_neg, d);
+  }
+  std::vector<uint32_t> batch_negs(b * n_neg);
+  std::vector<uint32_t> tmp;
+  const size_t num_shards = (b + kGrain - 1) / kGrain;
+  std::vector<double> shard_sums(num_shards);
+
+  // Best-of-reps: one rep is a fresh pass over the whole edge list (the
+  // sequential Rng restarts, so every rep draws identical negatives);
+  // min-time cuts scheduler noise on small hosts.
+  double best_secs = 0.0;
+  double total = 0.0;
+  for (int rep = 0; rep < kStageReps; ++rep) {
+    Rng rng(13);
+    const auto t0 = std::chrono::steady_clock::now();
+    // Serial pre-draw: the stage this PR deleted from the trainer.
+    for (size_t s = 0; s < b; ++s) {
+      sampler.Sample(edges[s].user, n_neg, rng, tmp);
+      std::copy(tmp.begin(), tmp.end(), batch_negs.begin() + s * n_neg);
+    }
+    runtime::ParallelFor(
+        pool, 0, b, kGrain,
+        [&](size_t lo, size_t hi, size_t shard, size_t worker) {
+          Scratch& ws = scratch[worker];
+          double sum = 0.0;
+          for (size_t s = lo; s < hi; ++s) {
+            const uint32_t* negs = batch_negs.data() + s * n_neg;
+            vec::Normalize(model.UserEmb(edges[s].user), ws.u_hat.data(), d);
+            for (size_t j = 0; j < n_neg; ++j) {
+              ws.j_norm[j] =
+                  vec::Normalize(model.ItemEmb(negs[j]), ws.j_hat.Row(j), d);
+              ws.scores[j] = vec::Dot(ws.u_hat.data(), ws.j_hat.Row(j), d);
+            }
+            for (size_t j = 0; j < n_neg; ++j) sum += ws.scores[j];
+          }
+          shard_sums[shard] = sum;
+        });
+    const double secs = SecondsSince(t0);
+    if (rep == 0 || secs < best_secs) best_secs = secs;
+    total = 0.0;
+    for (double s : shard_sums) total += s;
+  }
+  return {threads, static_cast<double>(b) / best_secs, Bits(total)};
+}
+
+// The PR 4 pipeline: counter-based in-shard draws, fused gather +
+// blocked batch scoring. Same work, no serial stage.
+Point FusedStreamStage(const NegativeSampler& sampler, const MfModel& model,
+                       const std::vector<Edge>& edges, size_t n_neg,
+                       size_t threads) {
+  runtime::ThreadPool pool(threads);
+  const SamplerDispatch sample = sampler.Dispatch();
+  const Matrix& item_table = model.FinalItemMatrix();
+  const size_t d = model.dim();
+  const size_t b = edges.size();
+  std::vector<Scratch> scratch(pool.num_workers());
+  for (Scratch& ws : scratch) {
+    ws.negs.resize(n_neg);
+    ws.u_hat.resize(d);
+    ws.j_norm.resize(n_neg);
+    ws.scores.resize(n_neg);
+    ws.j_hat = Matrix(n_neg, d);
+  }
+  const size_t num_shards = (b + kGrain - 1) / kGrain;
+  std::vector<double> shard_sums(num_shards);
+
+  double best_secs = 0.0;
+  double total = 0.0;
+  for (int rep = 0; rep < kStageReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    runtime::ParallelFor(
+        pool, 0, b, kGrain,
+        [&](size_t lo, size_t hi, size_t shard, size_t worker) {
+          Scratch& ws = scratch[worker];
+          double sum = 0.0;
+          for (size_t s = lo; s < hi; ++s) {
+            StreamRng stream(kStreamSeed, /*epoch=*/1, s);
+            sample(edges[s].user, stream, {ws.negs.data(), n_neg});
+            vec::Normalize(model.UserEmb(edges[s].user), ws.u_hat.data(), d);
+            vec::GatherNormalize(item_table.data(), item_table.cols(),
+                                 ws.negs.data(), n_neg, d, ws.j_hat.data(),
+                                 ws.j_norm.data());
+            vec::DotBatch(ws.u_hat.data(), ws.j_hat.data(), n_neg, d,
+                          ws.scores.data());
+            for (size_t j = 0; j < n_neg; ++j) sum += ws.scores[j];
+          }
+          shard_sums[shard] = sum;
+        });
+    const double secs = SecondsSince(t0);
+    if (rep == 0 || secs < best_secs) best_secs = secs;
+    total = 0.0;
+    for (double s : shard_sums) total += s;
+  }
+  return {threads, static_cast<double>(b) / best_secs, Bits(total)};
+}
+
+// ---- section 3: end-to-end trainer ---------------------------------------
+
+struct TrainPoint {
+  size_t threads;
+  double samples_per_sec;
+  double first_epoch_loss;
+};
+
+TrainPoint TrainerRun(const Dataset& data, size_t dim, size_t n_neg,
+                      size_t threads) {
+  Rng rng(6);
+  MfModel model(data.num_users(), data.num_items(), dim, rng);
+  BilateralSoftmaxLoss loss(0.2, 0.25);
+  UniformNegativeSampler sampler(data);
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 1024;
+  tc.num_negatives = n_neg;
+  tc.seed = 99;
+  tc.runtime.num_threads = threads;
+  Trainer trainer(data, model, loss, sampler, tc);
+  const auto t0 = std::chrono::steady_clock::now();
+  const EpochStats stats = trainer.RunEpoch(1);
+  const double secs = SecondsSince(t0);
+  return {threads, static_cast<double>(data.num_train()) / secs,
+          stats.avg_loss};
+}
+
+bool SameChecksums(const std::vector<Point>& pts) {
+  for (const Point& p : pts) {
+    if (p.checksum != pts.front().checksum) return false;
+  }
+  return true;
+}
+
+void PrintJsonPoints(FILE* out, const char* key,
+                     const std::vector<Point>& pts) {
+  std::fprintf(out, "  \"%s\": [\n", key);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"per_sec\": %.1f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 pts[i].threads, pts[i].per_sec,
+                 pts[i].per_sec / pts[0].per_sec,
+                 i + 1 < pts.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = bench::FastMode();
+  SyntheticConfig cfg;
+  cfg.num_users = fast ? 400 : 1500;
+  cfg.num_items = fast ? 300 : 1200;
+  cfg.num_clusters = 10;
+  cfg.avg_items_per_user = 18.0;
+  cfg.seed = 77;
+  const Dataset data = GenerateSynthetic(cfg).dataset;
+  const size_t dim = fast ? 16 : 48;
+  const size_t n_neg = fast ? 16 : 64;
+  const size_t draw_samples = fast ? 20000 : 200000;
+
+  std::printf(
+      "sampling bench: %u users, %u items, %zu train edges, dim %zu, "
+      "N- %zu\n",
+      data.num_users(), data.num_items(), data.num_train(), dim, n_neg);
+
+  bool identical = true;
+
+  // ---- raw draw throughput per sampler ----
+  const UniformNegativeSampler uniform(data);
+  const PopularityNegativeSampler popularity(data, 0.75);
+  const NoisyNegativeSampler noisy(data, 1.0);
+  struct SamplerRow {
+    const char* name;
+    const NegativeSampler* sampler;
+    double legacy_per_sec = 0.0;
+    std::vector<Point> stream;
+  };
+  std::vector<SamplerRow> rows = {{"uniform", &uniform, 0.0, {}},
+                                  {"popularity", &popularity, 0.0, {}},
+                                  {"noisy", &noisy, 0.0, {}}};
+  for (SamplerRow& row : rows) {
+    row.legacy_per_sec =
+        LegacyDrawsPerSec(*row.sampler, data, draw_samples, n_neg);
+    for (size_t threads : ThreadCounts()) {
+      row.stream.push_back(
+          StreamDraws(*row.sampler, data, draw_samples, n_neg, threads));
+      std::printf("draws      %-10s threads=%zu  %.2e draws/sec "
+                  "(legacy serial %.2e)\n",
+                  row.name, threads, row.stream.back().per_sec,
+                  row.legacy_per_sec);
+    }
+    identical = identical && SameChecksums(row.stream);
+  }
+
+  // ---- sampling + scoring stage: serial pre-draw vs fused stream ----
+  Rng model_rng(5);
+  MfModel model(data.num_users(), data.num_items(), dim, model_rng);
+  model.Forward(model_rng);
+  const std::vector<Edge>& edges = data.train_edges();
+  std::vector<Point> baseline, fused;
+  for (size_t threads : ThreadCounts()) {
+    baseline.push_back(
+        SerialPredrawStage(uniform, model, edges, n_neg, threads));
+    fused.push_back(FusedStreamStage(uniform, model, edges, n_neg, threads));
+    std::printf("stage      threads=%zu  serial-predraw %.0f samples/sec, "
+                "fused-stream %.0f samples/sec (%.2fx)\n",
+                threads, baseline.back().per_sec, fused.back().per_sec,
+                fused.back().per_sec / baseline.back().per_sec);
+  }
+  // The baseline is only *expected* deterministic across thread counts
+  // for the scoring half; its checksum probe still must hold (the serial
+  // pre-draw consumes one fixed stream regardless of workers).
+  identical = identical && SameChecksums(baseline) && SameChecksums(fused);
+  const double improvement_at_hw =
+      fused.back().per_sec / baseline.back().per_sec;
+
+  // ---- end-to-end trainer ----
+  std::vector<TrainPoint> train_points;
+  for (size_t threads : ThreadCounts()) {
+    train_points.push_back(TrainerRun(data, dim, n_neg, threads));
+    std::printf("trainer    threads=%zu  %.0f samples/sec  loss %.6f\n",
+                threads, train_points.back().samples_per_sec,
+                train_points.back().first_epoch_loss);
+  }
+  for (const TrainPoint& p : train_points) {
+    identical =
+        identical && p.first_epoch_loss == train_points[0].first_epoch_loss;
+  }
+
+  std::printf("fused vs serial-predraw at hw threads: %.2fx\n",
+              improvement_at_hw);
+  std::printf("bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — BUG");
+
+  // ---- machine-readable output ----
+  FILE* out = std::fopen("BENCH_sampling.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_sampling.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
+               runtime::ResolveNumThreads(0));
+  std::fprintf(out,
+               "  \"dataset\": {\"users\": %u, \"items\": %u, "
+               "\"train_edges\": %zu, \"dim\": %zu, \"num_negatives\": "
+               "%zu},\n",
+               data.num_users(), data.num_items(), data.num_train(), dim,
+               n_neg);
+  std::fprintf(out, "  \"samplers\": [\n");
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const SamplerRow& row = rows[r];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"legacy_serial_draws_per_sec\": "
+                 "%.1f, \"stream\": [",
+                 row.name, row.legacy_per_sec);
+    for (size_t i = 0; i < row.stream.size(); ++i) {
+      std::fprintf(out, "{\"threads\": %zu, \"draws_per_sec\": %.1f}%s",
+                   row.stream[i].threads, row.stream[i].per_sec,
+                   i + 1 < row.stream.size() ? ", " : "");
+    }
+    std::fprintf(out, "]}%s\n", r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  PrintJsonPoints(out, "stage_serial_predraw", baseline);
+  PrintJsonPoints(out, "stage_fused_stream", fused);
+  std::fprintf(out, "  \"stage_improvement_at_hw_threads\": %.3f,\n",
+               improvement_at_hw);
+  std::fprintf(out, "  \"trainer\": [\n");
+  for (size_t i = 0; i < train_points.size(); ++i) {
+    const TrainPoint& p = train_points[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"samples_per_sec\": %.1f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 p.threads, p.samples_per_sec,
+                 p.samples_per_sec / train_points[0].samples_per_sec,
+                 i + 1 < train_points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"bit_identical\": %s\n", identical ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_sampling.json\n");
+  return identical ? 0 : 1;
+}

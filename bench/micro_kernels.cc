@@ -232,6 +232,53 @@ void BM_LogSumExpNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_LogSumExpNaive)->Arg(64)->Arg(4096);
 
+// DotBatch (paired rows, shared query loads) vs the per-row Dot loop it
+// replaced in the trainer's negative-scoring path. Arg is the dim; the
+// block is 64 rows, the default N-.
+void BM_DotBatchBlocked(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  constexpr size_t kRows = 64;
+  const auto q = GaussianVec(d, 21);
+  const auto rows = GaussianVec(kRows * d, 22);
+  std::vector<float> out(kRows);
+  for (auto _ : state) {
+    vec::DotBatch(q.data(), rows.data(), kRows, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * d);
+}
+BENCHMARK(BM_DotBatchBlocked)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DotBatchPerRowLoop(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  constexpr size_t kRows = 64;
+  const auto q = GaussianVec(d, 21);
+  const auto rows = GaussianVec(kRows * d, 22);
+  std::vector<float> out(kRows);
+  for (auto _ : state) {
+    for (size_t r = 0; r < kRows; ++r) {
+      out[r] = vec::Dot(q.data(), rows.data() + r * d, d);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * d);
+}
+BENCHMARK(BM_DotBatchPerRowLoop)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_StreamRngDraws(benchmark::State& state) {
+  // Cost of one full per-sample stream: construction + 64 bounded draws,
+  // the trainer's per-sample sampling pattern.
+  uint64_t sink = 0;
+  uint64_t s = 0;
+  for (auto _ : state) {
+    StreamRng rng(42, 1, ++s);
+    for (int j = 0; j < 64; ++j) sink += rng.NextIndex(1200);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_StreamRngDraws);
+
 void BM_CosineScore(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   Rng rng(5);

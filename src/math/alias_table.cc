@@ -55,12 +55,6 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
   for (uint32_t l : large) prob_[l] = 1.0;
 }
 
-uint32_t AliasTable::Sample(Rng& rng) const {
-  BSLREC_CHECK(!prob_.empty());
-  const uint32_t i = static_cast<uint32_t>(rng.NextIndex(prob_.size()));
-  return rng.NextDouble() < prob_[i] ? i : alias_[i];
-}
-
 double AliasTable::Probability(uint32_t i) const {
   BSLREC_CHECK(i < normalized_.size());
   return normalized_[i];

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "math/check.h"
 #include "math/rng.h"
 
 namespace bslrec {
@@ -21,8 +22,16 @@ class AliasTable {
   // Requires at least one strictly positive weight.
   explicit AliasTable(const std::vector<double>& weights);
 
-  // Draws an index in [0, size()) with probability proportional to its weight.
-  uint32_t Sample(Rng& rng) const;
+  // Draws an index in [0, size()) with probability proportional to its
+  // weight. Works with any generator exposing NextIndex/NextDouble
+  // (`Rng` for sequential streams, `StreamRng` for counter-based
+  // per-sample streams); monomorphized per generator, no dispatch cost.
+  template <typename G>
+  uint32_t Sample(G& rng) const {
+    BSLREC_CHECK(!prob_.empty());
+    const uint32_t i = static_cast<uint32_t>(rng.NextIndex(prob_.size()));
+    return rng.NextDouble() < prob_[i] ? i : alias_[i];
+  }
 
   size_t size() const { return prob_.size(); }
 

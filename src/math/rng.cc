@@ -14,8 +14,9 @@ inline uint64_t Rotl(uint64_t x, int k) {
 
 }  // namespace
 
-uint64_t SplitMix64::Next() {
-  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+uint64_t SplitMix64::Next() { return Mix(state_ += 0x9e3779b97f4a7c15ULL); }
+
+uint64_t SplitMix64::Mix(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
@@ -45,12 +46,7 @@ double Rng::NextDouble() {
 
 uint64_t Rng::NextIndex(uint64_t n) {
   BSLREC_CHECK(n > 0);
-  // Lemire-style rejection: uniform in [0, n) without modulo bias.
-  const uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
-  for (;;) {
-    const uint64_t r = NextU64();
-    if (r >= threshold) return r % n;
-  }
+  return rng_internal::LemireIndex(*this, n);
 }
 
 int64_t Rng::NextInt(int64_t lo, int64_t hi) {
@@ -77,6 +73,40 @@ double Rng::NextGaussian() {
 }
 
 bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+namespace {
+
+// Absorbs one word into a running key, SplitMix64-style: offset by the
+// golden gamma so absorbing zeros still moves the key, then avalanche.
+inline uint64_t AbsorbWord(uint64_t key, uint64_t word) {
+  return SplitMix64::Mix((key + 0x9e3779b97f4a7c15ULL) ^ word);
+}
+
+}  // namespace
+
+StreamRng::StreamRng(uint64_t seed, uint64_t epoch, uint64_t sample_index)
+    : ctr_(AbsorbWord(AbsorbWord(seed, epoch), sample_index)) {}
+
+uint64_t StreamRng::NextU64() {
+  // SplitMix64 sequence seeded at the key: draw t is a pure function of
+  // (key, t), so any draw can be re-derived from the triple + counter.
+  return SplitMix64::Mix(ctr_ += 0x9e3779b97f4a7c15ULL);
+}
+
+double StreamRng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t StreamRng::NextIndex(uint64_t n) {
+  BSLREC_CHECK(n > 0);
+  return rng_internal::LemireIndex(*this, n);
+}
+
+bool StreamRng::NextBernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return NextDouble() < p;

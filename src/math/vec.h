@@ -8,6 +8,7 @@
 #define BSLREC_MATH_VEC_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace bslrec::vec {
@@ -42,6 +43,24 @@ void Fill(float* x, size_t n, float v);
 
 // Returns squared Euclidean distance ||a - b||^2.
 float SquaredDistance(const float* a, const float* b, size_t n);
+
+// Batch scoring: out[r] = Dot(q, rows + r*d) for r in [0, m). `rows` is a
+// contiguous m x d block (gathered negatives). Short rows are register-
+// blocked in pairs (query loads amortized across the pair); long rows
+// take the autovectorizer-friendly per-row form. Each row's summation
+// tree is identical to Dot's (four double lanes combined in fixed
+// order), so out[r] == Dot(q, row r, d) bitwise — batch scoring never
+// changes results, only speed.
+void DotBatch(const float* q, const float* rows, size_t m, size_t d,
+              float* out);
+
+// Gathers rows ids[0..m) from `table` (row stride `stride` floats) into
+// the contiguous m x d block `out_rows`, L2-normalizing each row;
+// out_norms[r] receives the original norm. Per row this is exactly
+// Normalize(table + ids[r]*stride, out_rows + r*d, d) — one call replaces
+// the per-draw gather/normalize loop in training hot paths.
+void GatherNormalize(const float* table, size_t stride, const uint32_t* ids,
+                     size_t m, size_t d, float* out_rows, float* out_norms);
 
 // Gradient of the cosine score f = cos(u, i) with respect to u:
 //   d f / d u = (i_hat - f * u_hat) / ||u||

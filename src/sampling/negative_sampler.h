@@ -8,12 +8,28 @@
 // weight of a negative item, so larger r_noise means more positives are
 // mistakenly served as negatives.
 //
+// Two entry points share the same draw cores:
+//
+//  * `SampleStream(u, stream, out)` — the parallel path. The caller keys a
+//    `StreamRng` per sample (seed, epoch, sample_index) and the sampler
+//    fills the caller-provided span from that stream. Because the stream
+//    is counter-based, any worker can draw any sample's negatives and get
+//    identical items — the trainer draws inside its parallel shards and
+//    stays bit-identical for every worker count. Hot loops bind
+//    `Dispatch()` once per batch so the per-sample call is a plain
+//    indirect call, not a virtual lookup.
+//  * `Sample(u, n, rng, out)` — the legacy sequential API over a shared
+//    `Rng`, kept for analysis/bench code that owns a single stream. It
+//    routes through the same cores and only resizes `out` (never
+//    shrinking capacity), so steady-state calls do not allocate.
+//
 // Samplers keep a reference to the dataset; the dataset must outlive them.
 #ifndef BSLREC_SAMPLING_NEGATIVE_SAMPLER_H_
 #define BSLREC_SAMPLING_NEGATIVE_SAMPLER_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
@@ -22,15 +38,45 @@
 
 namespace bslrec {
 
+class NegativeSampler;
+
+// Devirtualized sampling handle: a (object, function-pointer) pair bound
+// to the concrete sampler type. Virtual dispatch is hoisted to one
+// `Dispatch()` call per batch; the per-sample draw inside the trainer's
+// shard loop is then a direct indirect call the compiler can hoist
+// across.
+struct SamplerDispatch {
+  using Fn = void (*)(const NegativeSampler* self, uint32_t u,
+                      StreamRng& stream, uint32_t* out, size_t n);
+  const NegativeSampler* self = nullptr;
+  Fn fn = nullptr;
+
+  void operator()(uint32_t u, StreamRng& stream,
+                  std::span<uint32_t> out) const {
+    fn(self, u, stream, out.data(), out.size());
+  }
+};
+
 class NegativeSampler {
  public:
   virtual ~NegativeSampler() = default;
 
-  // Appends n sampled "negative" item ids for user u to `out` (which is
-  // cleared first). Draws are i.i.d. with replacement, matching standard
-  // recommender training loops.
+  // Legacy sequential API: resizes `out` to n (capacity never shrinks, so
+  // repeated calls do not reallocate) and fills it with i.i.d. draws from
+  // the shared `rng` stream, consumed in serial draw order.
   virtual void Sample(uint32_t u, size_t n, Rng& rng,
                       std::vector<uint32_t>& out) const = 0;
+
+  // Stream API: fills the caller-provided span with out.size() i.i.d.
+  // draws from the per-sample counter-based stream. Pure w.r.t. sampler
+  // state — safe to call from any thread concurrently.
+  void SampleStream(uint32_t u, StreamRng& stream,
+                    std::span<uint32_t> out) const {
+    Dispatch()(u, stream, out);
+  }
+
+  // Returns the devirtualized handle for hot loops; bind once per batch.
+  virtual SamplerDispatch Dispatch() const = 0;
 };
 
 // Uniform over the user's true negatives S-_u.
@@ -39,6 +85,12 @@ class UniformNegativeSampler : public NegativeSampler {
   explicit UniformNegativeSampler(const Dataset& data) : data_(data) {}
   void Sample(uint32_t u, size_t n, Rng& rng,
               std::vector<uint32_t>& out) const override;
+  SamplerDispatch Dispatch() const override;
+
+  // Generator-templated draw core shared by both entry points; defined
+  // in the .cc (instantiated there for Rng and StreamRng only).
+  template <typename G>
+  void SampleInto(uint32_t u, G& rng, uint32_t* out, size_t n) const;
 
  private:
   const Dataset& data_;
@@ -51,6 +103,11 @@ class PopularityNegativeSampler : public NegativeSampler {
   PopularityNegativeSampler(const Dataset& data, double beta);
   void Sample(uint32_t u, size_t n, Rng& rng,
               std::vector<uint32_t>& out) const override;
+  SamplerDispatch Dispatch() const override;
+
+  // See UniformNegativeSampler::SampleInto.
+  template <typename G>
+  void SampleInto(uint32_t u, G& rng, uint32_t* out, size_t n) const;
 
  private:
   const Dataset& data_;
@@ -68,8 +125,13 @@ class NoisyNegativeSampler : public NegativeSampler {
   NoisyNegativeSampler(const Dataset& data, double r_noise);
   void Sample(uint32_t u, size_t n, Rng& rng,
               std::vector<uint32_t>& out) const override;
+  SamplerDispatch Dispatch() const override;
 
   double r_noise() const { return r_noise_; }
+
+  // See UniformNegativeSampler::SampleInto.
+  template <typename G>
+  void SampleInto(uint32_t u, G& rng, uint32_t* out, size_t n) const;
 
  private:
   const Dataset& data_;

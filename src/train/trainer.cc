@@ -8,6 +8,15 @@
 
 namespace bslrec {
 
+namespace {
+
+// Decouples the negative-draw streams from every other consumer of
+// TrainConfig::seed (init, shuffling, augmentations) when the user
+// leaves sampling_stream_seed = 0.
+constexpr uint64_t kSamplingStreamSalt = 0x4E45474154495645ULL;  // "NEGATIVE"
+
+}  // namespace
+
 float* Trainer::GradSlot(SlotMap& map, uint64_t shard_tag,
                          std::vector<uint32_t>& rows,
                          std::vector<float>& vals, uint32_t row, size_t d) {
@@ -41,7 +50,10 @@ Trainer::Trainer(const Dataset& data, EmbeddingModel& model,
           config.runtime.num_threads)),
       scratch_(pool_->num_workers()),
       evaluator_(data, config.metric_k, pool_.get()),
-      rng_(config.seed) {
+      rng_(config.seed),
+      stream_seed_(config.sampling_stream_seed != 0
+                       ? config.sampling_stream_seed
+                       : config.seed ^ kSamplingStreamSalt) {
   BSLREC_CHECK(config.epochs >= 0);
   BSLREC_CHECK(config.batch_size > 0 && config.num_negatives > 0);
   BSLREC_CHECK(config.eval_every >= 1);
@@ -64,6 +76,7 @@ Trainer::Trainer(const Dataset& data, EmbeddingModel& model,
     ws.items.slot.assign(data.num_items(), 0);
     ws.u_hat.resize(d);
     ws.i_hat.resize(d);
+    ws.negs.resize(n_neg);
     ws.j_hat = Matrix(n_neg, d);
     ws.j_norm.resize(n_neg);
     ws.neg_scores.resize(n_neg);
@@ -92,22 +105,20 @@ double Trainer::ReduceShards(size_t num_shards) {
 }
 
 double Trainer::AccumulateSampledLoss(const std::vector<Edge>& edges,
-                                      size_t begin, size_t end) {
+                                      size_t begin, size_t end,
+                                      uint64_t epoch) {
   const size_t d = model_.dim();
   const size_t n_neg = config_.num_negatives;
   const size_t b = end - begin;
   const float inv_batch = 1.0f / static_cast<float>(b);
 
-  // Pre-draw every sample's negatives on the calling thread: the single
-  // RNG stream is consumed in serial sample order, so the drawn items —
+  // Negatives are drawn inside the shards: sample s reads the
+  // counter-based stream keyed (stream_seed_, epoch, begin + s), a pure
+  // function of the sample's epoch-global index, so the drawn items —
   // and therefore the whole training run — do not depend on the worker
-  // count.
-  batch_negs_.resize(b * n_neg);
-  for (size_t s = 0; s < b; ++s) {
-    sampler_.Sample(edges[begin + s].user, n_neg, rng_, sample_negs_);
-    std::copy(sample_negs_.begin(), sample_negs_.end(),
-              batch_negs_.begin() + s * n_neg);
-  }
+  // count. The virtual sampler lookup is hoisted out of the loop here.
+  const SamplerDispatch sample = sampler_.Dispatch();
+  const Matrix& item_table = model_.FinalItemMatrix();
 
   const size_t num_shards = (b + kSampledGrain - 1) / kSampledGrain;
   if (shards_.size() < num_shards) shards_.resize(num_shards);
@@ -120,7 +131,9 @@ double Trainer::AccumulateSampledLoss(const std::vector<Edge>& edges,
         for (size_t s = lo; s < hi; ++s) {
           const uint32_t u = edges[begin + s].user;
           const uint32_t i = edges[begin + s].item;
-          const uint32_t* negs = batch_negs_.data() + s * n_neg;
+          StreamRng stream(stream_seed_, epoch, begin + s);
+          sample(u, stream, {ws.negs.data(), n_neg});
+          const uint32_t* negs = ws.negs.data();
 
           const float u_norm =
               vec::Normalize(model_.UserEmb(u), ws.u_hat.data(), d);
@@ -128,11 +141,12 @@ double Trainer::AccumulateSampledLoss(const std::vector<Edge>& edges,
               vec::Normalize(model_.ItemEmb(i), ws.i_hat.data(), d);
           const float pos_score =
               vec::Dot(ws.u_hat.data(), ws.i_hat.data(), d);
-          for (size_t j = 0; j < n_neg; ++j) {
-            ws.j_norm[j] =
-                vec::Normalize(model_.ItemEmb(negs[j]), ws.j_hat.Row(j), d);
-            ws.neg_scores[j] = vec::Dot(ws.u_hat.data(), ws.j_hat.Row(j), d);
-          }
+          // Fused scoring: one gather+normalize over the negative block,
+          // one blocked batch dot against it.
+          vec::GatherNormalize(item_table.data(), item_table.cols(), negs,
+                               n_neg, d, ws.j_hat.data(), ws.j_norm.data());
+          vec::DotBatch(ws.u_hat.data(), ws.j_hat.data(), n_neg, d,
+                        ws.neg_scores.data());
 
           float d_pos = 0.0f;
           out.loss_sum +=
@@ -283,14 +297,15 @@ double Trainer::AccumulateInBatchLoss(const std::vector<Edge>& edges,
 }
 
 std::pair<double, double> Trainer::RunBatch(const std::vector<Edge>& edges,
-                                            size_t begin, size_t end) {
+                                            size_t begin, size_t end,
+                                            uint64_t epoch) {
   model_.Forward(rng_);
   model_.ZeroGrad();
 
   const double loss_sum =
       config_.sampling_mode == SamplingMode::kInBatch
           ? AccumulateInBatchLoss(edges, begin, end)
-          : AccumulateSampledLoss(edges, begin, end);
+          : AccumulateSampledLoss(edges, begin, end, epoch);
 
   // Contrastive regularizer on the batch's distinct nodes.
   std::vector<uint32_t> batch_users, batch_items;
@@ -326,7 +341,8 @@ EpochStats Trainer::RunEpoch(int epoch_index) {
   for (size_t begin = 0; begin < edges.size();
        begin += config_.batch_size) {
     const size_t end = std::min(edges.size(), begin + config_.batch_size);
-    const auto [loss, aux] = RunBatch(edges, begin, end);
+    const auto [loss, aux] =
+        RunBatch(edges, begin, end, static_cast<uint64_t>(epoch_index));
     loss_sum += loss;
     aux_sum += aux;
     ++num_batches;

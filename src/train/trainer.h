@@ -9,14 +9,21 @@
 //   5. adds contrastive aux gradients (SGL/SimGCL/LightGCL),
 //   6. backpropagates into parameters and steps the optimizer.
 //
-// Steps 2-4 — the per-sample score/gradient work that dominates the
-// epoch — fan out across a runtime::ThreadPool: the batch is split into
-// fixed-size sample shards, every worker accumulates gradients into
+// Steps 2-4 — the per-sample sampling/score/gradient work that dominates
+// the epoch — fan out across a runtime::ThreadPool: the batch is split
+// into fixed-size sample shards, every worker accumulates gradients into
 // per-shard sparse buffers, and the shards are reduced into the model's
-// gradient tables serially in shard order. Negative sampling stays on
-// the calling thread (one RNG stream, serial draw order), so training
-// results are bit-identical for any `TrainConfig::runtime.num_threads`
-// (see runtime/thread_pool.h for the determinism contract).
+// gradient tables serially in shard order. Negative sampling runs
+// *inside* the shards from counter-based per-sample streams: sample s of
+// epoch e draws from StreamRng(stream_seed, e, s), a pure function of
+// the sample's epoch-global index, so the drawn items do not depend on
+// which worker processes the shard or when. Training results are
+// therefore bit-identical for any `TrainConfig::runtime.num_threads`
+// with no serial pre-draw stage at all (see runtime/thread_pool.h for
+// the sharding contract and math/rng.h for the stream discipline).
+// Negative scoring is fused: the shard gathers + normalizes a sample's
+// negatives as one block (vec::GatherNormalize) and scores it with one
+// blocked batch kernel (vec::DotBatch) instead of N- strided dots.
 //
 // The trainer also hands its pool to the model (`SetRuntime`), so graph
 // backbones run steps 1 and 6 — propagation in Forward/Backward and the
@@ -73,6 +80,13 @@ struct TrainConfig {
   uint32_t metric_k = 20;       // Recall@K / NDCG@K cutoff
   int early_stop_patience = 0;  // consecutive non-improving evals; 0 = off
   uint64_t seed = 123;
+  // Seed of the counter-based negative-sampling streams (kSampledNegatives
+  // mode). 0 derives it from `seed`, which is what experiments want: one
+  // knob reproduces the whole run. Set it explicitly to hold the sampled
+  // negatives fixed while varying `seed` (init/shuffle), or vice versa —
+  // the stream family is keyed (stream_seed, epoch, sample_index), fully
+  // decoupled from the trainer's sequential Rng.
+  uint64_t sampling_stream_seed = 0;
   // Worker count for batch processing and evaluation. Results are
   // bit-identical for any value; 1 runs fully serial.
   runtime::RuntimeConfig runtime;
@@ -141,7 +155,8 @@ class Trainer {
     SlotMap users, items;
     uint64_t shard_tag = 0;
     std::vector<float> u_hat, i_hat;
-    Matrix j_hat;
+    std::vector<uint32_t> negs;  // this sample's drawn negatives, N- wide
+    Matrix j_hat;                // gathered normalized negatives, N- x d
     std::vector<float> j_norm, neg_scores, d_neg;
   };
 
@@ -155,13 +170,18 @@ class Trainer {
   static void BeginShard(WorkerScratch& ws, ShardGrad& out);
 
   // Processes one batch of edges [begin, end); returns (sum loss, aux).
+  // `epoch` keys the batch's negative-sampling streams.
   std::pair<double, double> RunBatch(const std::vector<Edge>& edges,
-                                     size_t begin, size_t end);
+                                     size_t begin, size_t end,
+                                     uint64_t epoch);
   // Sampled-negatives (Algorithm 1) and in-batch (Algorithm 2) loss
   // accumulation over the final embeddings; both only write into the
   // model's final-embedding gradient buffers (via the shard reduction).
+  // Sample s of the batch draws negatives from the counter-based stream
+  // keyed (stream_seed_, epoch, begin + s) — `begin` doubles as the
+  // batch's epoch-global sample offset.
   double AccumulateSampledLoss(const std::vector<Edge>& edges, size_t begin,
-                               size_t end);
+                               size_t end, uint64_t epoch);
   double AccumulateInBatchLoss(const std::vector<Edge>& edges, size_t begin,
                                size_t end);
   // Adds every shard's partial gradients into the model's gradient
@@ -176,11 +196,10 @@ class Trainer {
   std::unique_ptr<runtime::ThreadPool> pool_;
   std::vector<WorkerScratch> scratch_;   // one per pool worker
   std::vector<ShardGrad> shards_;        // one per shard, reused per batch
-  std::vector<uint32_t> batch_negs_;     // pre-drawn negatives, b x N-
-  std::vector<uint32_t> sample_negs_;    // per-sample draw buffer
   Evaluator evaluator_;
   std::unique_ptr<Optimizer> optimizer_;
   Rng rng_;
+  uint64_t stream_seed_;  // keys the per-sample negative-draw streams
 };
 
 }  // namespace bslrec

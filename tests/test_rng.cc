@@ -159,6 +159,139 @@ TEST(Rng, SampleWithoutReplacementUnbiased) {
   }
 }
 
+// ---- Lemire multiply-shift NextIndex regression ----
+// NextIndex switched from divide-based rejection to Lemire's multiply-
+// shift reduction; these lock the distribution properties the samplers
+// rely on (range, unbiasedness for awkward bounds, large-bound safety).
+
+TEST(Rng, NextIndexUniformForNonPowerOfTwoBound) {
+  // 17 does not divide 2^64, so a biased reduction would visibly skew
+  // the low buckets; the exact-threshold rejection must not.
+  Rng rng(41);
+  constexpr uint64_t kBuckets = 17;
+  constexpr int kDraws = 170000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextIndex(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 17.0, 600.0);
+  }
+}
+
+TEST(Rng, NextIndexChiSquareAcrossAwkwardBounds) {
+  // Chi-square goodness-of-fit at a handful of bounds that stress the
+  // reduction (odd, prime, just-below-power-of-two). 99.9th percentile
+  // cutoffs, so a correct implementation fails with p < 0.001.
+  Rng rng(43);
+  for (uint64_t n : {3ULL, 7ULL, 10ULL, 31ULL, 63ULL}) {
+    const int draws = 60000;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < draws; ++i) ++counts[rng.NextIndex(n)];
+    const double expected = static_cast<double>(draws) / static_cast<double>(n);
+    double chi2 = 0.0;
+    for (int c : counts) {
+      const double diff = c - expected;
+      chi2 += diff * diff / expected;
+    }
+    // chi2(df) 99.9th percentiles for df = n-1 in {2,6,9,30,62}.
+    const double cutoff = n == 3 ? 13.8 : n == 7 ? 22.5 : n == 10 ? 27.9
+                          : n == 31 ? 59.7 : 103.4;
+    EXPECT_LT(chi2, cutoff) << "bound " << n;
+  }
+}
+
+TEST(Rng, NextIndexHandlesHugeBounds) {
+  // Bounds near 2^63 exercise the rejection threshold path; results must
+  // stay in range and not loop forever.
+  Rng rng(47);
+  const uint64_t n = (1ULL << 63) + 12345;
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextIndex(n), n);
+}
+
+// ---- counter-based StreamRng ----
+
+TEST(StreamRng, SameTripleSameStream) {
+  StreamRng a(1, 2, 3), b(1, 2, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(StreamRng, AnyKeyComponentChangesTheStream) {
+  StreamRng base(1, 2, 3), seed(2, 2, 3), epoch(1, 3, 3), index(1, 2, 4);
+  int eq_seed = 0, eq_epoch = 0, eq_index = 0;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t v = base.NextU64();
+    eq_seed += v == seed.NextU64() ? 1 : 0;
+    eq_epoch += v == epoch.NextU64() ? 1 : 0;
+    eq_index += v == index.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(eq_seed, 3);
+  EXPECT_LT(eq_epoch, 3);
+  EXPECT_LT(eq_index, 3);
+}
+
+TEST(StreamRng, DrawsAreCounterAddressable) {
+  // Re-constructing the stream and skipping ahead reproduces any draw:
+  // the stream is a pure function of (triple, draw index).
+  StreamRng full(9, 1, 7);
+  std::vector<uint64_t> vals(20);
+  for (auto& v : vals) v = full.NextU64();
+  for (size_t t = 0; t < vals.size(); ++t) {
+    StreamRng replay(9, 1, 7);
+    for (size_t skip = 0; skip < t; ++skip) replay.NextU64();
+    EXPECT_EQ(replay.NextU64(), vals[t]) << "draw " << t;
+  }
+}
+
+TEST(StreamRng, NextDoubleInUnitIntervalWithMeanHalf) {
+  StreamRng rng(5, 0, 11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(StreamRng, NextIndexApproximatelyUniform) {
+  StreamRng rng(7, 0, 13);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextIndex(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 10.0, 500.0);
+  }
+}
+
+TEST(StreamRng, BernoulliEdgeCasesAndRate) {
+  StreamRng rng(17, 0, 1);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_FALSE(rng.NextBernoulli(-0.5));
+  EXPECT_TRUE(rng.NextBernoulli(1.5));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(StreamRng, AdjacentSampleIndicesAreDecorrelated) {
+  // First draws across consecutive sample indices — the exact pattern
+  // the trainer uses (one stream per sample) — must look uniform.
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kStreams = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int s = 0; s < kStreams; ++s) {
+    StreamRng rng(123, 4, static_cast<uint64_t>(s));
+    ++counts[rng.NextIndex(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kStreams / 10.0, 500.0);
+  }
+}
+
 class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RngSeedSweep, CopyForksStream) {

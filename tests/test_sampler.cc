@@ -1,10 +1,15 @@
 #include "sampling/negative_sampler.h"
 
+#include <memory>
 #include <vector>
 
+#include "core/losses.h"
 #include "data/synthetic.h"
 #include "gtest/gtest.h"
+#include "models/mf.h"
+#include "runtime/thread_pool.h"
 #include "test_util.h"
+#include "train/trainer.h"
 
 namespace bslrec {
 namespace {
@@ -147,6 +152,162 @@ TEST(NoisySampler, HigherOddsMoreFalseNegatives) {
   };
   EXPECT_LT(rate(0.5), rate(3.0));
   EXPECT_LT(rate(3.0), rate(10.0));
+}
+
+// ---- counter-based stream sampling ----
+
+// Draws n_neg negatives for every sample index in [0, num_samples) over
+// `threads` workers, the exact pattern the trainer uses: one StreamRng
+// per sample keyed by its index, drawn inside fixed-grain shards.
+std::vector<uint32_t> DrawAllStream(const NegativeSampler& sampler,
+                                    const Dataset& d, size_t num_samples,
+                                    size_t n_neg, size_t threads,
+                                    uint64_t seed = 77, uint64_t epoch = 3) {
+  runtime::ThreadPool pool(threads);
+  const SamplerDispatch sample = sampler.Dispatch();
+  std::vector<uint32_t> all(num_samples * n_neg);
+  runtime::ParallelFor(
+      pool, 0, num_samples, 16,
+      [&](size_t lo, size_t hi, size_t /*shard*/, size_t /*worker*/) {
+        for (size_t s = lo; s < hi; ++s) {
+          StreamRng stream(seed, epoch, s);
+          sample(static_cast<uint32_t>(s % d.num_users()), stream,
+                 {all.data() + s * n_neg, n_neg});
+        }
+      });
+  return all;
+}
+
+std::vector<std::unique_ptr<NegativeSampler>> AllSamplers(const Dataset& d) {
+  std::vector<std::unique_ptr<NegativeSampler>> samplers;
+  samplers.push_back(std::make_unique<UniformNegativeSampler>(d));
+  samplers.push_back(std::make_unique<PopularityNegativeSampler>(d, 0.75));
+  samplers.push_back(std::make_unique<NoisyNegativeSampler>(d, 2.0));
+  return samplers;
+}
+
+TEST(StreamSampling, BitIdenticalAcrossWorkerCounts) {
+  const Dataset d = MediumDataset(21);
+  for (const auto& sampler : AllSamplers(d)) {
+    const auto at1 = DrawAllStream(*sampler, d, 300, 24, 1);
+    const auto at2 = DrawAllStream(*sampler, d, 300, 24, 2);
+    const auto at8 = DrawAllStream(*sampler, d, 300, 24, 8);
+    EXPECT_EQ(at1, at2);
+    EXPECT_EQ(at1, at8);
+  }
+}
+
+TEST(StreamSampling, SampleStreamMatchesDispatch) {
+  // The virtual convenience entry point and the devirtualized handle
+  // must be the same function.
+  const Dataset d = MediumDataset(22);
+  for (const auto& sampler : AllSamplers(d)) {
+    std::vector<uint32_t> via_virtual(16), via_dispatch(16);
+    StreamRng s1(5, 1, 9), s2(5, 1, 9);
+    sampler->SampleStream(3, s1, via_virtual);
+    sampler->Dispatch()(3, s2, {via_dispatch.data(), via_dispatch.size()});
+    EXPECT_EQ(via_virtual, via_dispatch);
+  }
+}
+
+TEST(StreamSampling, TrueNegativeSamplersStillExcludePositives) {
+  const Dataset d = MediumDataset(23);
+  const UniformNegativeSampler uniform(d);
+  const PopularityNegativeSampler popularity(d, 1.0);
+  for (const NegativeSampler* sampler :
+       {static_cast<const NegativeSampler*>(&uniform),
+        static_cast<const NegativeSampler*>(&popularity)}) {
+    const auto all = DrawAllStream(*sampler, d, 240, 32, 4);
+    for (size_t s = 0; s < 240; ++s) {
+      const uint32_t u = static_cast<uint32_t>(s % d.num_users());
+      for (size_t j = 0; j < 32; ++j) {
+        const uint32_t i = all[s * 32 + j];
+        EXPECT_LT(i, d.num_items());
+        EXPECT_FALSE(d.IsTrainPositive(u, i));
+      }
+    }
+  }
+}
+
+TEST(StreamSampling, DrawsUniformAcrossSampleIndices) {
+  // Chi-square-style uniformity over a small catalog, pooling draws from
+  // many *distinct* per-sample streams for one user: if streams for
+  // adjacent sample indices were correlated, bucket counts would skew.
+  const Dataset d = testing::TinyDataset();  // user 0 positives: {0, 1}
+  const UniformNegativeSampler sampler(d);
+  const SamplerDispatch sample = sampler.Dispatch();
+  std::vector<int> counts(d.num_items(), 0);
+  constexpr size_t kStreams = 30000;
+  constexpr size_t kPerStream = 2;
+  std::vector<uint32_t> buf(kPerStream);
+  for (size_t s = 0; s < kStreams; ++s) {
+    StreamRng stream(99, 0, s);
+    sample(0, stream, {buf.data(), buf.size()});
+    for (uint32_t i : buf) ++counts[i];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 0);
+  const double draws = static_cast<double>(kStreams * kPerStream);
+  const double expected = draws / 4.0;  // 4 allowed items
+  double chi2 = 0.0;
+  for (uint32_t i = 2; i < d.num_items(); ++i) {
+    const double diff = counts[i] - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 16.3);  // chi2(3) 99.9th percentile
+}
+
+TEST(StreamSampling, LegacyApiDoesNotReallocateSteadyState) {
+  const Dataset d = MediumDataset(24);
+  Rng rng(9);
+  for (const auto& sampler : AllSamplers(d)) {
+    std::vector<uint32_t> out;
+    sampler->Sample(0, 40, rng, out);  // first call sizes the buffer
+    const uint32_t* data = out.data();
+    const size_t cap = out.capacity();
+    for (uint32_t u = 0; u < d.num_users(); ++u) {
+      sampler->Sample(u, 40, rng, out);
+      EXPECT_EQ(out.size(), 40u);
+      EXPECT_EQ(out.data(), data);
+      EXPECT_EQ(out.capacity(), cap);
+    }
+    // Smaller requests shrink the size but keep the capacity.
+    sampler->Sample(0, 10, rng, out);
+    EXPECT_EQ(out.size(), 10u);
+    EXPECT_EQ(out.data(), data);
+    EXPECT_EQ(out.capacity(), cap);
+  }
+}
+
+TEST(StreamSampling, TrainingRunReproducesWhenOnlyThreadCountChanges) {
+  // End-to-end: the whole training history must be bit-identical when
+  // nothing but runtime.num_threads changes, for every sampler kind —
+  // the invariance the counter-based streams guarantee by construction.
+  const Dataset d = MediumDataset(25);
+  const auto run = [&](const NegativeSampler& sampler, size_t threads) {
+    Rng rng(6);
+    MfModel model(d.num_users(), d.num_items(), 8, rng);
+    SoftmaxLoss loss(0.2);
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch_size = 128;
+    cfg.num_negatives = 8;
+    cfg.eval_every = 1;
+    cfg.seed = 31;
+    cfg.runtime.num_threads = threads;
+    Trainer trainer(d, model, loss, sampler, cfg);
+    return trainer.Train();
+  };
+  for (const auto& sampler : AllSamplers(d)) {
+    const TrainResult t1 = run(*sampler, 1);
+    const TrainResult t4 = run(*sampler, 4);
+    ASSERT_EQ(t1.history.size(), t4.history.size());
+    for (size_t k = 0; k < t1.history.size(); ++k) {
+      EXPECT_EQ(t1.history[k].avg_loss, t4.history[k].avg_loss);
+    }
+    EXPECT_EQ(t1.best.ndcg, t4.best.ndcg);
+    EXPECT_EQ(t1.best.recall, t4.best.recall);
+  }
 }
 
 }  // namespace

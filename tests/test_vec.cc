@@ -138,6 +138,56 @@ TEST(Vec, AccumulateCosineGradMatchesFiniteDifference) {
   }
 }
 
+TEST(Vec, DotBatchBitwiseMatchesPerRowDot) {
+  // The batch kernel's contract is bit-equality with the single-row
+  // kernel (callers mix the two), across even/odd row counts and
+  // remainder dims that exercise both the paired and tail paths.
+  Rng rng(7);
+  for (const size_t m : {0u, 1u, 2u, 3u, 7u, 16u}) {
+    for (const size_t d : {1u, 3u, 4u, 17u, 48u, 64u}) {
+      std::vector<float> q(d), rows(m * d), out(m, -1.0f);
+      for (auto& v : q) v = static_cast<float>(rng.NextGaussian());
+      for (auto& v : rows) v = static_cast<float>(rng.NextGaussian());
+      vec::DotBatch(q.data(), rows.data(), m, d, out.data());
+      for (size_t r = 0; r < m; ++r) {
+        EXPECT_EQ(out[r], vec::Dot(q.data(), rows.data() + r * d, d))
+            << "m=" << m << " d=" << d << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(Vec, GatherNormalizeBitwiseMatchesPerRowNormalize) {
+  Rng rng(9);
+  const size_t stride = 11, d = 8, table_rows = 20;
+  std::vector<float> table(table_rows * stride);
+  for (auto& v : table) v = static_cast<float>(rng.NextGaussian());
+  const std::vector<uint32_t> ids = {3, 0, 19, 3, 7};  // repeats allowed
+  std::vector<float> out(ids.size() * d), norms(ids.size());
+  vec::GatherNormalize(table.data(), stride, ids.data(), ids.size(), d,
+                       out.data(), norms.data());
+  for (size_t r = 0; r < ids.size(); ++r) {
+    std::vector<float> expect(d);
+    const float n =
+        vec::Normalize(table.data() + ids[r] * stride, expect.data(), d);
+    EXPECT_EQ(norms[r], n) << "row " << r;
+    for (size_t k = 0; k < d; ++k) {
+      EXPECT_EQ(out[r * d + k], expect[k]) << "row " << r << " dim " << k;
+    }
+  }
+}
+
+TEST(Vec, GatherNormalizeZeroRowIsSafe) {
+  const size_t d = 4;
+  std::vector<float> table(d, 0.0f);
+  const uint32_t id = 0;
+  std::vector<float> out(d, 1.0f);
+  float norm = -1.0f;
+  vec::GatherNormalize(table.data(), d, &id, 1, d, out.data(), &norm);
+  EXPECT_FLOAT_EQ(norm, 0.0f);
+  for (float v : out) EXPECT_FALSE(std::isnan(v));
+}
+
 TEST(Vec, AccumulateCosineGradScalesWithCoeff) {
   const size_t d = 4;
   std::vector<float> u = {1.0f, 0.0f, 0.0f, 0.0f};
