@@ -1,0 +1,192 @@
+// Async-evaluation pipeline bench: end-to-end Trainer::Train wall time
+// and epochs/sec, synchronous vs overlapped (TrainConfig::async_eval),
+// at 1 / 2 / hardware threads — plus the metrics-bit-identical probe
+// that gates the exit code: every run's full {epoch, metrics} eval
+// history must match the serial synchronous baseline bitwise.
+//
+// The workload is shaped so evaluation is a large fraction of sync wall
+// time (full-catalog ranking over a wide catalog, modest training work
+// per epoch, eval every epoch) — the regime the BSL/PSL config sweeps
+// live in. Overlap recovers the cycles the trainer's serial sections
+// leave idle, so the wall-time win needs >1 hardware core; on a
+// single-core host the async columns are informational only (the
+// bit-identical probe still gates).
+//
+// Emits machine-readable BENCH_async.json into the working directory.
+// BSLREC_FAST=1 shrinks the dataset and epoch count for CI.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/losses.h"
+#include "data/synthetic.h"
+#include "models/mf.h"
+#include "runtime/thread_pool.h"
+#include "sampling/negative_sampler.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace bslrec;  // NOLINT: bench-local convenience
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct RunPoint {
+  size_t threads = 0;
+  size_t eval_threads = 0;  // resolved background pool width
+  double sync_seconds = 0.0;
+  double async_seconds = 0.0;
+  std::vector<EvalRecord> sync_evals;
+  std::vector<EvalRecord> async_evals;
+};
+
+std::vector<size_t> ThreadCounts() {
+  const size_t hw = runtime::ResolveNumThreads(0);
+  std::vector<size_t> counts = {1, 2};
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+TrainResult RunOnce(const Dataset& data, size_t dim, size_t threads,
+                    bool async, int epochs, size_t negatives,
+                    double* seconds) {
+  Rng rng(7);
+  MfModel model(data.num_users(), data.num_items(), dim, rng);
+  BilateralSoftmaxLoss loss(0.2, 0.25);
+  UniformNegativeSampler sampler(data);
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 256;  // many optimizer steps → real serial fraction
+  cfg.num_negatives = negatives;
+  cfg.eval_every = 1;  // the sweep regime: metrics after every epoch
+  cfg.seed = 99;
+  cfg.runtime.num_threads = threads;
+  cfg.async_eval = async;
+  Trainer trainer(data, model, loss, sampler, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  TrainResult result = trainer.Train();
+  *seconds = SecondsSince(t0);
+  return result;
+}
+
+bool SameEvals(const std::vector<EvalRecord>& a,
+               const std::vector<EvalRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t e = 0; e < a.size(); ++e) {
+    if (a[e].epoch != b[e].epoch ||
+        a[e].metrics.recall != b[e].metrics.recall ||
+        a[e].metrics.ndcg != b[e].metrics.ndcg ||
+        a[e].metrics.precision != b[e].metrics.precision ||
+        a[e].metrics.hit_rate != b[e].metrics.hit_rate ||
+        a[e].metrics.num_users != b[e].metrics.num_users) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = bench::FastMode();
+  SyntheticConfig cfg;
+  cfg.num_users = fast ? 500 : 1200;
+  cfg.num_items = fast ? 900 : 1600;  // wide catalog: ranking dominates
+  cfg.num_clusters = 10;
+  cfg.avg_items_per_user = 10.0;
+  cfg.seed = 177;
+  const Dataset data = GenerateSynthetic(cfg).dataset;
+  const size_t dim = fast ? 24 : 48;
+  const int epochs = fast ? 4 : 8;
+  const size_t negatives = fast ? 16 : 32;
+  const size_t hw = runtime::ResolveNumThreads(0);
+
+  std::printf(
+      "async-eval bench: %u users, %u items, %zu train edges, dim %zu, "
+      "%d epochs (eval every epoch)\n",
+      data.num_users(), data.num_items(), data.num_train(), dim, epochs);
+
+  std::vector<RunPoint> points;
+  for (size_t threads : ThreadCounts()) {
+    RunPoint p;
+    p.threads = threads;
+    runtime::RuntimeConfig rt;
+    rt.num_threads = threads;
+    p.eval_threads = runtime::ResolveEvalThreads(rt);
+    p.sync_evals =
+        RunOnce(data, dim, threads, false, epochs, negatives, &p.sync_seconds)
+            .evals;
+    p.async_evals =
+        RunOnce(data, dim, threads, true, epochs, negatives, &p.async_seconds)
+            .evals;
+    std::printf(
+        "threads=%zu (eval pool %zu)  sync %.2fs (%.2f epochs/s)  "
+        "async %.2fs (%.2f epochs/s)  wall speedup %.2fx\n",
+        p.threads, p.eval_threads, p.sync_seconds, epochs / p.sync_seconds,
+        p.async_seconds, epochs / p.async_seconds,
+        p.sync_seconds / p.async_seconds);
+    points.push_back(std::move(p));
+  }
+
+  // ---- metrics-bit-identical probe (gates the exit code) ----
+  // Every run — sync or async, any thread split — must reproduce the
+  // serial synchronous eval history bitwise.
+  bool identical = !points.empty() && !points[0].sync_evals.empty();
+  for (const RunPoint& p : points) {
+    identical = identical && SameEvals(p.sync_evals, points[0].sync_evals) &&
+                SameEvals(p.async_evals, points[0].sync_evals);
+  }
+  std::printf("metrics bit-identical across sync/async and thread counts: %s\n",
+              identical ? "yes" : "NO — BUG");
+
+  const RunPoint& at_hw = points.back();
+  const bool async_faster_at_hw = at_hw.async_seconds < at_hw.sync_seconds;
+  if (hw > 1) {
+    std::printf("async strictly faster at hw threads: %s\n",
+                async_faster_at_hw ? "yes" : "NO");
+  } else {
+    std::printf(
+        "single hardware core: overlap cannot beat sequential "
+        "(informational only)\n");
+  }
+
+  FILE* out = std::fopen("BENCH_async.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_async.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n", hw);
+  std::fprintf(out,
+               "  \"dataset\": {\"users\": %u, \"items\": %u, "
+               "\"train_edges\": %zu, \"dim\": %zu, \"epochs\": %d},\n",
+               data.num_users(), data.num_items(), data.num_train(), dim,
+               epochs);
+  std::fprintf(out, "  \"runs\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const RunPoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"eval_threads\": %zu, "
+                 "\"sync_seconds\": %.3f, \"async_seconds\": %.3f, "
+                 "\"sync_epochs_per_sec\": %.3f, "
+                 "\"async_epochs_per_sec\": %.3f, "
+                 "\"wall_speedup\": %.3f}%s\n",
+                 p.threads, p.eval_threads, p.sync_seconds, p.async_seconds,
+                 epochs / p.sync_seconds, epochs / p.async_seconds,
+                 p.sync_seconds / p.async_seconds,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"async_faster_at_hw_threads\": %s,\n",
+               async_faster_at_hw ? "true" : "false");
+  std::fprintf(out, "  \"metrics_bit_identical\": %s\n",
+               identical ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_async.json\n");
+  return identical ? 0 : 1;
+}

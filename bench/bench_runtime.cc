@@ -114,7 +114,8 @@ int main() {
     identical = identical && p.ndcg == eval_points[0].ndcg;
   }
   for (const TrainPoint& p : train_points) {
-    identical = identical && p.first_epoch_loss == train_points[0].first_epoch_loss;
+    identical =
+        identical && p.first_epoch_loss == train_points[0].first_epoch_loss;
   }
   std::printf("bit-identical across thread counts: %s\n",
               identical ? "yes" : "NO — BUG");

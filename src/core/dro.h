@@ -3,7 +3,7 @@
 // The paper's theoretical contribution (Section III) is the equivalence
 //
 //   tau * log E_{j~P-}[ exp(f_j / tau) ]
-//     ==  max_{P : KL(P || P-) <= eta}  E_{j~P}[ f_j ]  -  tau * eta*   (Lemma 1)
+//     ==  max_{P : KL(P || P-) <= eta}  E_{j~P}[ f_j ] - tau * eta*  (Lemma 1)
 //
 // with the inner maximum attained by the exponentially tilted ("worst
 // case") distribution  P*(j) proportional to P-(j) * exp(f_j / tau), and

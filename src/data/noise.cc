@@ -48,9 +48,8 @@ Dataset DropTrainPositives(const Dataset& data, double ratio, Rng& rng) {
     const auto pos = data.TrainItems(u);
     uint32_t drop = static_cast<uint32_t>(std::lround(ratio * pos.size()));
     // Keep at least one train positive so the user stays connected.
-    drop = std::min<uint32_t>(drop, pos.empty()
-                                        ? 0
-                                        : static_cast<uint32_t>(pos.size()) - 1);
+    drop = std::min<uint32_t>(
+        drop, pos.empty() ? 0 : static_cast<uint32_t>(pos.size()) - 1);
     std::vector<bool> dropped(pos.size(), false);
     if (drop > 0) {
       for (uint32_t p : rng.SampleWithoutReplacement(

@@ -30,8 +30,9 @@ std::vector<uint32_t> GumbelTopK(const std::vector<double>& weights,
                       static_cast<uint32_t>(i));
   }
   BSLREC_CHECK(keys.size() >= k);
-  std::partial_sort(keys.begin(), keys.begin() + k, keys.end(),
-                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::partial_sort(
+      keys.begin(), keys.begin() + k, keys.end(),
+      [](const auto& a, const auto& b) { return a.first > b.first; });
   std::vector<uint32_t> result(k);
   for (uint32_t j = 0; j < k; ++j) result[j] = keys[j].second;
   return result;

@@ -1,0 +1,48 @@
+#include "eval/async_evaluator.h"
+
+#include <utility>
+
+#include "math/check.h"
+
+namespace bslrec {
+
+AsyncEvaluator::AsyncEvaluator(const Dataset& data, uint32_t k,
+                               runtime::RuntimeConfig runtime)
+    : runner_(runtime::ResolveEvalThreads(runtime)),
+      evaluator_(data, k, &runner_.pool()) {}
+
+AsyncEvaluator::~AsyncEvaluator() {
+  // Drain before members are destroyed: an in-flight task uses
+  // evaluator_, which dies before runner_ would otherwise finish it.
+  try {
+    runner_.Drain();
+  } catch (...) {
+    // Uncollected background errors die with the evaluator; call
+    // Join() before destruction to observe them.
+  }
+}
+
+size_t AsyncEvaluator::num_workers() const {
+  return runner_.pool().num_workers();
+}
+
+void AsyncEvaluator::Submit(
+    int epoch, std::shared_ptr<const serve::ModelSnapshot> snapshot) {
+  BSLREC_CHECK(snapshot != nullptr);
+  runner_.Submit([this, epoch, snapshot = std::move(snapshot)] {
+    Evaluator::Pass pass = evaluator_.BeginPassOn(snapshot);
+    EvalRecord rec;
+    rec.epoch = epoch;
+    rec.metrics = pass.Evaluate();
+    std::lock_guard<std::mutex> lk(mu_);
+    done_.push_back(rec);
+  });
+}
+
+std::vector<EvalRecord> AsyncEvaluator::Join() {
+  runner_.Drain();  // rethrows background errors
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::exchange(done_, {});
+}
+
+}  // namespace bslrec

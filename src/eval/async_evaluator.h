@@ -1,0 +1,83 @@
+// Overlapped (asynchronous) top-K evaluation.
+//
+// `AsyncEvaluator` runs full `Evaluator::Pass`es in the background: the
+// caller freezes a `serve::ModelSnapshot` on its *own* pool (the cheap,
+// parallel copy+normalize step) and hands it to `Submit`; the expensive
+// full-catalog ranking then runs on a `runtime::TaskRunner` — a single
+// dispatcher thread driving its own private pool — while the caller
+// continues (e.g. the trainer starts the next epoch).
+//
+// Determinism: `Evaluator::Pass` scores through the immutable snapshot
+// only, and ranking is thread-count invariant (runtime/thread_pool.h),
+// so the metrics a background pass produces are bit-identical to a
+// synchronous pass over the same snapshot — regardless of either
+// pool's size. Asynchrony moves *when* the numbers are computed, never
+// *what* they are.
+//
+// Ordering and completion: one dispatcher thread executes submissions
+// FIFO, so `Join` returns the completed `EvalRecord`s in submission
+// order. `Join` blocks for every pass submitted so far and rethrows the
+// first background exception. Destruction drains in-flight passes
+// ("join on destruction"); their results — and any uncollected errors —
+// are discarded.
+//
+// Thread budget: the runner's pool is sized by
+// `runtime::ResolveEvalThreads` (RuntimeConfig::eval_threads; 0 = half
+// the training budget — the share/steal policy).
+#ifndef BSLREC_EVAL_ASYNC_EVALUATOR_H_
+#define BSLREC_EVAL_ASYNC_EVALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+#include "runtime/task_runner.h"
+#include "serve/model_snapshot.h"
+
+namespace bslrec {
+
+class AsyncEvaluator {
+ public:
+  // `data` must outlive the evaluator. The background pool is sized
+  // from `runtime` via ResolveEvalThreads.
+  AsyncEvaluator(const Dataset& data, uint32_t k,
+                 runtime::RuntimeConfig runtime = {});
+  ~AsyncEvaluator();  // drains in-flight passes, discarding results
+
+  AsyncEvaluator(const AsyncEvaluator&) = delete;
+  AsyncEvaluator& operator=(const AsyncEvaluator&) = delete;
+
+  uint32_t k() const { return evaluator_.k(); }
+  // Background pool width (for logging/benches).
+  size_t num_workers() const;
+
+  // Queues a full evaluation pass over `snapshot`, tagged with `epoch`.
+  // The snapshot must already be frozen; Submit never touches the live
+  // model, so the caller may resume training immediately.
+  void Submit(int epoch, std::shared_ptr<const serve::ModelSnapshot> snapshot);
+
+  // Blocks until every submitted pass has finished; returns their
+  // records in submission order (clearing the internal buffer) and
+  // rethrows the first background exception.
+  std::vector<EvalRecord> Join();
+
+  // Passes submitted but not yet finished.
+  size_t pending() const { return runner_.pending(); }
+
+ private:
+  // Declared before evaluator_: the evaluator borrows the runner's
+  // pool. The destructor drains the runner before members die, so no
+  // task can outlive the evaluator it uses.
+  runtime::TaskRunner runner_;
+  Evaluator evaluator_;
+
+  std::mutex mu_;  // guards done_ (written by the dispatcher thread)
+  std::vector<EvalRecord> done_;
+};
+
+}  // namespace bslrec
+
+#endif  // BSLREC_EVAL_ASYNC_EVALUATOR_H_

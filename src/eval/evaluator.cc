@@ -37,17 +37,26 @@ Evaluator::Evaluator(const Dataset& data, uint32_t k,
 }
 
 Evaluator::Pass::Pass(const Evaluator& eval, const EmbeddingModel& model)
+    : Pass(eval,
+           std::make_shared<const serve::ModelSnapshot>(model, *eval.pool_)) {}
+
+Evaluator::Pass::Pass(const Evaluator& eval,
+                      std::shared_ptr<const serve::ModelSnapshot> snapshot)
     : eval_(eval),
-      snapshot_(model, *eval.pool_),
+      snapshot_(std::move(snapshot)),
       scratch_(eval.pool_->num_workers()) {
+  BSLREC_CHECK(snapshot_ != nullptr);
+  BSLREC_CHECK_MSG(snapshot_->num_users() == eval_.data_.num_users() &&
+                       snapshot_->num_items() == eval_.data_.num_items(),
+                   "snapshot shape does not match the evaluator's dataset");
   for (WorkerScratch& ws : scratch_) {
     ws.scores.resize(eval_.data_.num_items());
   }
 }
 
 void Evaluator::Pass::ScoreUser(uint32_t user, WorkerScratch& ws) {
-  serve::ScoreItemRange(snapshot_, snapshot_.UserVec(user), 0,
-                        snapshot_.num_items(), ws.scores.data());
+  serve::ScoreItemRange(*snapshot_, snapshot_->UserVec(user), 0,
+                        snapshot_->num_items(), ws.scores.data());
 }
 
 template <typename Fn>
@@ -152,6 +161,11 @@ std::vector<double> Evaluator::Pass::ItemExposure() {
 
 Evaluator::Pass Evaluator::BeginPass(const EmbeddingModel& model) const {
   return Pass(*this, model);
+}
+
+Evaluator::Pass Evaluator::BeginPassOn(
+    std::shared_ptr<const serve::ModelSnapshot> snapshot) const {
+  return Pass(*this, std::move(snapshot));
 }
 
 std::vector<uint32_t> Evaluator::RankTopK(const std::vector<float>& scores,

@@ -21,6 +21,13 @@
 // `Evaluate`/`GroupNdcg`/... wrappers each open a one-query pass;
 // callers issuing several queries against the same model state should
 // hold a pass instead.
+//
+// `BeginPassOn(snapshot)` opens a pass over an *already frozen*
+// snapshot instead of freezing one itself. That is the seam async
+// evaluation rides: the trainer freezes the snapshot on its own pool,
+// then a background AsyncEvaluator scores it on a different pool —
+// and because ranking is thread-count invariant, the metrics are
+// bit-identical to a synchronous pass over the same snapshot.
 #ifndef BSLREC_EVAL_EVALUATOR_H_
 #define BSLREC_EVAL_EVALUATOR_H_
 
@@ -35,6 +42,14 @@
 #include "serve/model_snapshot.h"
 
 namespace bslrec {
+
+// One completed evaluation, tagged with the epoch whose model state it
+// measured. The trainer records these in epoch order — identically for
+// synchronous and asynchronous evaluation.
+struct EvalRecord {
+  int epoch = 0;
+  TopKMetrics metrics;
+};
 
 class Evaluator {
  public:
@@ -71,11 +86,13 @@ class Evaluator {
 
     // The frozen embeddings this pass scores against — the same
     // snapshot type serve::InferenceService answers traffic from.
-    const serve::ModelSnapshot& snapshot() const { return snapshot_; }
+    const serve::ModelSnapshot& snapshot() const { return *snapshot_; }
 
    private:
     friend class Evaluator;
     Pass(const Evaluator& eval, const EmbeddingModel& model);
+    Pass(const Evaluator& eval,
+         std::shared_ptr<const serve::ModelSnapshot> snapshot);
 
     struct WorkerScratch {
       std::vector<float> scores;  // one score per catalog item
@@ -97,13 +114,19 @@ class Evaluator {
         const std::vector<std::vector<uint32_t>>& rankings, uint32_t k);
 
     const Evaluator& eval_;
-    serve::ModelSnapshot snapshot_;  // normalized tables, computed once
+    // Normalized tables, frozen once (shared so an in-flight async pass
+    // keeps its snapshot alive however long the producer lives).
+    std::shared_ptr<const serve::ModelSnapshot> snapshot_;
     std::vector<WorkerScratch> scratch_;  // one per pool worker
     std::vector<std::vector<uint32_t>> rankings_k_;  // per test user
     bool rankings_cached_ = false;
   };
 
   Pass BeginPass(const EmbeddingModel& model) const;
+  // Opens a pass over a snapshot frozen elsewhere (possibly on another
+  // pool). The snapshot's shape must match this evaluator's dataset.
+  Pass BeginPassOn(
+      std::shared_ptr<const serve::ModelSnapshot> snapshot) const;
 
   // Single-shot conveniences; each opens a fresh pass.
   TopKMetrics Evaluate(const EmbeddingModel& model) const;

@@ -60,7 +60,7 @@ class Matrix {
   // this += alpha * other. Shapes must match.
   void AddScaled(const Matrix& other, float alpha);
 
-  // Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+  // Xavier/Glorot uniform init: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
   // Matches the initializer the paper uses for all models.
   void InitXavierUniform(Rng& rng);
 

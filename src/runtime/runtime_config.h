@@ -18,6 +18,19 @@ struct RuntimeConfig {
   // 0 = one worker per hardware thread (std::thread::hardware_concurrency);
   // 1 = fully serial execution on the calling thread (no threads spawned).
   size_t num_threads = 0;
+
+  // Worker count for the *background* evaluation pool when asynchronous
+  // evaluation is enabled (runtime::TaskRunner + AsyncEvaluator). The
+  // overlapped pass runs on its own pool so the trainer keeps its full
+  // `num_threads` budget; the two pools timeshare the machine through
+  // the OS scheduler. 0 = share/steal policy: the eval pool is sized to
+  // half the resolved training worker count (at least 1), so an
+  // overlapped pass mostly soaks up the cycles the trainer's serial
+  // sections (optimizer step, shard reduction) leave idle instead of
+  // doubling the thread count. Results never depend on this value —
+  // evaluation is thread-count invariant — so the knob is purely about
+  // wall time.
+  size_t eval_threads = 0;
 };
 
 // Hard ceiling on the worker count. Requests beyond it (including
@@ -30,6 +43,12 @@ inline constexpr size_t kMaxThreads = 1024;
 // [1, kMaxThreads], or the hardware concurrency (at least 1) when
 // `requested` is 0.
 size_t ResolveNumThreads(size_t requested);
+
+// Resolves the background evaluation pool's worker count:
+// `config.eval_threads` clamped to [1, kMaxThreads] when non-zero,
+// otherwise half of ResolveNumThreads(config.num_threads), at least 1
+// (the share/steal policy documented on RuntimeConfig::eval_threads).
+size_t ResolveEvalThreads(const RuntimeConfig& config);
 
 }  // namespace bslrec::runtime
 

@@ -1,0 +1,72 @@
+#include "runtime/task_runner.h"
+
+#include <utility>
+
+#include "math/check.h"
+
+namespace bslrec::runtime {
+
+TaskRunner::TaskRunner(size_t num_threads)
+    : pool_(num_threads), dispatcher_([this] { DispatchLoop(); }) {}
+
+TaskRunner::~TaskRunner() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  dispatcher_.join();  // DispatchLoop exits only once the queue is empty
+}
+
+void TaskRunner::Submit(std::function<void()> task) {
+  BSLREC_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    BSLREC_CHECK_MSG(!shutdown_, "Submit on a destroyed TaskRunner");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void TaskRunner::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+size_t TaskRunner::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_flight_;
+}
+
+void TaskRunner::DispatchLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      task_cv_.wait(lk, [&] { return shutdown_ || !queue_.empty(); });
+      // Shutdown drains: keep executing while tasks remain.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace bslrec::runtime

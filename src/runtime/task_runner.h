@@ -1,0 +1,96 @@
+// Single background worker that owns its own ThreadPool.
+//
+// The pool contract (thread_pool.h) allows exactly one driver at a time
+// and forbids nested Run — which rules out handing long-running work
+// (like a full evaluation pass) to the *same* pool the caller is still
+// driving. `TaskRunner` is the escape hatch for overlapping such work
+// with the caller's own parallel sections: it owns a private pool plus
+// one dispatcher thread, and runs submitted tasks on that thread, one
+// at a time, in submission order (FIFO).
+//
+// Driver discipline
+//   * The dispatcher thread is the *only* thread that ever drives
+//     `pool()`: a task may call `ParallelFor(runner.pool(), ...)`
+//     freely, because by construction no other task — and never the
+//     submitting thread — is inside a `Run` on that pool at the same
+//     time. Nothing outside a submitted task may touch `pool()`.
+//   * Tasks on one runner never overlap each other, so they may share
+//     state (e.g. an Evaluator's per-worker scratch) without locking;
+//     only state shared with the *submitting* thread needs
+//     synchronization. Submission and completion are synchronized
+//     through the runner's internal mutex, so everything written before
+//     `Submit` happens-before the task, and everything the task writes
+//     happens-before `Drain` returning.
+//
+// Completion and errors
+//   * `Drain()` blocks until every task submitted so far has finished
+//     and rethrows the first exception any of them raised (the error is
+//     cleared; later tasks still ran).
+//   * The destructor drains the queue — every submitted task runs to
+//     completion before the runner dies ("join on destruction").
+//     Exceptions that nobody collected via `Drain` are swallowed there;
+//     drain explicitly if you need to observe them.
+#ifndef BSLREC_RUNTIME_TASK_RUNNER_H_
+#define BSLREC_RUNTIME_TASK_RUNNER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "runtime/thread_pool.h"
+
+namespace bslrec::runtime {
+
+class TaskRunner {
+ public:
+  // `num_threads` sizes the runner's private pool (resolved like
+  // ThreadPool: 0 = hardware concurrency, 1 = inline). The dispatcher
+  // thread itself is extra — it participates in the pool as worker 0
+  // while executing a task's parallel sections.
+  explicit TaskRunner(size_t num_threads = 1);
+  // Drains the queue (all submitted tasks run), then joins the
+  // dispatcher. Uncollected task errors are swallowed.
+  ~TaskRunner();
+
+  TaskRunner(const TaskRunner&) = delete;
+  TaskRunner& operator=(const TaskRunner&) = delete;
+
+  // The runner's private pool. Must only be driven from inside a
+  // submitted task (see the driver discipline above).
+  ThreadPool& pool() { return pool_; }
+  const ThreadPool& pool() const { return pool_; }
+
+  // Enqueues `task` to run on the dispatcher thread after every
+  // previously submitted task has finished.
+  void Submit(std::function<void()> task);
+
+  // Blocks until all tasks submitted so far have finished; rethrows the
+  // first captured task exception, clearing it.
+  void Drain();
+
+  // Tasks submitted but not yet finished (queued + running).
+  size_t pending() const;
+
+ private:
+  void DispatchLoop();
+
+  ThreadPool pool_;  // constructed (and destroyed) around the dispatcher
+
+  mutable std::mutex mu_;
+  std::condition_variable task_cv_;  // signals dispatcher: work / shutdown
+  std::condition_variable idle_cv_;  // signals Drain: queue fully drained
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+
+  std::thread dispatcher_;  // last member: starts after state is ready
+};
+
+}  // namespace bslrec::runtime
+
+#endif  // BSLREC_RUNTIME_TASK_RUNNER_H_

@@ -12,6 +12,13 @@ size_t ResolveNumThreads(size_t requested) {
   return hw > 0 ? static_cast<size_t>(hw) : 1;
 }
 
+size_t ResolveEvalThreads(const RuntimeConfig& config) {
+  if (config.eval_threads > 0) {
+    return std::min(config.eval_threads, kMaxThreads);
+  }
+  return std::max<size_t>(1, ResolveNumThreads(config.num_threads) / 2);
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = ResolveNumThreads(num_threads);
   workers_.reserve(n - 1);

@@ -64,6 +64,10 @@ Trainer::Trainer(const Dataset& data, EmbeddingModel& model,
     optimizer_ =
         std::make_unique<SgdOptimizer>(config.lr, config.weight_decay);
   }
+  if (config.async_eval) {
+    async_eval_ = std::make_unique<AsyncEvaluator>(data, config.metric_k,
+                                                   config.runtime);
+  }
   // Route the model's own heavy compute (graph propagation, contrastive
   // views) through the trainer's pool as well.
   model_.SetRuntime(pool_.get());
@@ -325,6 +329,7 @@ std::pair<double, double> Trainer::RunBatch(const std::vector<Edge>& edges,
 
   model_.Backward();
   optimizer_->Step(model_.Params());
+  ++step_count_;  // invalidates any snapshot frozen before this batch
   return {loss_sum, aux};
 }
 
@@ -353,15 +358,49 @@ EpochStats Trainer::RunEpoch(int epoch_index) {
   return stats;
 }
 
-TopKMetrics Trainer::Evaluate() const {
+std::shared_ptr<const serve::ModelSnapshot> Trainer::FreezeSnapshot() const {
+  if (frozen_snapshot_ != nullptr && frozen_snapshot_step_ == step_count_) {
+    return frozen_snapshot_;  // tables have not stepped since the freeze
+  }
   // Refresh the final embeddings from the current parameters. The main
   // propagation path is deterministic for every backbone, so the const
   // cast only re-runs a pure function of the parameters.
   Rng eval_rng(config_.seed ^ 0xE7A15A17ULL);
-  const_cast<EmbeddingModel&>(
-      static_cast<const EmbeddingModel&>(model_))
+  const_cast<EmbeddingModel&>(static_cast<const EmbeddingModel&>(model_))
       .Forward(eval_rng);
-  return evaluator_.Evaluate(model_);
+  frozen_snapshot_ =
+      std::make_shared<const serve::ModelSnapshot>(model_, *pool_);
+  frozen_snapshot_step_ = step_count_;
+  ++snapshots_frozen_;
+  return frozen_snapshot_;
+}
+
+TopKMetrics Trainer::Evaluate() const {
+  return evaluator_.BeginPassOn(FreezeSnapshot()).Evaluate();
+}
+
+bool Trainer::ApplyEvalRecord(TrainResult& result, const EvalRecord& rec,
+                              int* evals_without_improvement) {
+  result.final_metrics = rec.metrics;
+  result.evals.push_back(rec);
+  if (rec.metrics.ndcg > result.best.ndcg) {
+    result.best = rec.metrics;
+    result.best_epoch = rec.epoch;
+    *evals_without_improvement = 0;
+    return false;
+  }
+  ++*evals_without_improvement;
+  return config_.early_stop_patience > 0 &&
+         *evals_without_improvement >= config_.early_stop_patience;
+}
+
+bool Trainer::JoinAsyncEvals(TrainResult& result,
+                             int* evals_without_improvement) {
+  bool stop = false;
+  for (const EvalRecord& rec : async_eval_->Join()) {
+    stop = ApplyEvalRecord(result, rec, evals_without_improvement) || stop;
+  }
+  return stop;
 }
 
 TrainResult Trainer::Train() {
@@ -370,26 +409,35 @@ TrainResult Trainer::Train() {
   for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
     result.history.push_back(RunEpoch(epoch));
     const bool last_epoch = epoch == config_.epochs;
-    if (epoch % config_.eval_every == 0 || last_epoch) {
-      const TopKMetrics m = Evaluate();
-      result.final_metrics = m;
-      if (m.ndcg > result.best.ndcg) {
-        result.best = m;
-        result.best_epoch = epoch;
-        evals_without_improvement = 0;
-      } else {
-        ++evals_without_improvement;
-        if (config_.early_stop_patience > 0 &&
-            evals_without_improvement >= config_.early_stop_patience) {
-          break;
-        }
+    if (epoch % config_.eval_every != 0 && !last_epoch) continue;
+    if (async_eval_ != nullptr) {
+      // Pipeline depth 1: finish the previous overlapped pass (and let
+      // it veto further training) before freezing the next snapshot.
+      if (JoinAsyncEvals(result, &evals_without_improvement)) break;
+      async_eval_->Submit(epoch, FreezeSnapshot());
+      // Early stopping decides after *every* eval; deferring the
+      // decision to the next join would change the epoch trajectory
+      // relative to sync, so an early-stop config joins immediately.
+      if (config_.early_stop_patience > 0 &&
+          JoinAsyncEvals(result, &evals_without_improvement)) {
+        break;
       }
+    } else {
+      const EvalRecord rec{epoch, Evaluate()};
+      if (ApplyEvalRecord(result, rec, &evals_without_improvement)) break;
     }
   }
-  if (result.best.num_users == 0) {
-    // epochs == 0 or no eval ran: report the untrained model.
+  if (async_eval_ != nullptr) {
+    // Join the final epoch's pass (a post-loop stop verdict is moot).
+    JoinAsyncEvals(result, &evals_without_improvement);
+  }
+  if (result.evals.empty()) {
+    // epochs == 0, so no eval ran: report the untrained model. (Keyed
+    // on the recorded evals, not on best.num_users — an empty test
+    // split legitimately yields zero-user metrics from real evals.)
     result.best = Evaluate();
     result.final_metrics = result.best;
+    result.evals.push_back({0, result.best});
   }
   return result;
 }

@@ -34,6 +34,21 @@
 // Evaluation runs every `eval_every` epochs on the held-out test split;
 // the best checkpoint metrics (by NDCG) are reported, emulating the
 // paper's early-stopping/grid protocol without storing weights.
+//
+// With `TrainConfig::async_eval` the trainer stops stopping the world
+// for those evaluations: at an eval epoch it freezes a
+// `serve::ModelSnapshot` on its own pool (the cheap step) and submits
+// the full ranking pass to a background `AsyncEvaluator`, then
+// immediately starts the next epoch. Pending passes are joined at the
+// next eval epoch (pipeline depth 1) and at the end of Train. Because
+// passes score only their frozen snapshot and ranking is thread-count
+// invariant, the recorded `TrainResult::evals` history is bit-identical
+// to synchronous evaluation — asynchrony changes wall time, never
+// numbers. The one control-flow coupling is early stopping: the stop
+// decision consumes each eval's metrics, so when
+// `early_stop_patience > 0` the trainer joins each pass right after
+// submitting it (the pass still runs on the background pool, but
+// without overlap) to keep the epoch trajectory identical to sync.
 #ifndef BSLREC_TRAIN_TRAINER_H_
 #define BSLREC_TRAIN_TRAINER_H_
 
@@ -43,6 +58,7 @@
 
 #include "core/losses.h"
 #include "data/dataset.h"
+#include "eval/async_evaluator.h"
 #include "eval/evaluator.h"
 #include "models/model.h"
 #include "runtime/thread_pool.h"
@@ -87,6 +103,10 @@ struct TrainConfig {
   // the stream family is keyed (stream_seed, epoch, sample_index), fully
   // decoupled from the trainer's sequential Rng.
   uint64_t sampling_stream_seed = 0;
+  // Overlap evaluation with the next training epoch (see the header
+  // comment). Metrics and histories are bit-identical either way; the
+  // background pool is sized by `runtime.eval_threads`.
+  bool async_eval = false;
   // Worker count for batch processing and evaluation. Results are
   // bit-identical for any value; 1 runs fully serial.
   runtime::RuntimeConfig runtime;
@@ -103,6 +123,9 @@ struct TrainResult {
   int best_epoch = 0;
   TopKMetrics final_metrics;  // metrics at the last executed eval
   std::vector<EpochStats> history;
+  // Every evaluation in epoch order — the same sequence whether
+  // evaluation ran synchronously or overlapped (async_eval).
+  std::vector<EvalRecord> evals;
 };
 
 class Trainer {
@@ -122,8 +145,15 @@ class Trainer {
   // (benches that need per-epoch probes).
   EpochStats RunEpoch(int epoch_index);
 
-  // Evaluates the current model on the test split.
+  // Evaluates the current model on the test split. Reuses the snapshot
+  // frozen for the current optimizer step when one exists (e.g. the one
+  // the last eval epoch just froze), instead of rebuilding it; external
+  // parameter mutation between calls is not detected.
   TopKMetrics Evaluate() const;
+
+  // How many ModelSnapshots this trainer has frozen — observability for
+  // the snapshot-reuse contract (tests and benches assert on it).
+  size_t snapshots_frozen() const { return snapshots_frozen_; }
 
   Rng& rng() { return rng_; }
 
@@ -188,6 +218,18 @@ class Trainer {
   // tables in shard order; returns the summed loss.
   double ReduceShards(size_t num_shards);
 
+  // Freezes (or reuses — see Evaluate) a snapshot of the model's
+  // current state: re-runs Forward exactly as a synchronous eval would,
+  // then copies+normalizes the final tables on the trainer's pool.
+  std::shared_ptr<const serve::ModelSnapshot> FreezeSnapshot() const;
+  // Folds one completed evaluation into `result` (best/final/evals) and
+  // the early-stop counter; returns true when training should stop.
+  bool ApplyEvalRecord(TrainResult& result, const EvalRecord& rec,
+                       int* evals_without_improvement);
+  // Joins every pending background pass, applying each record in epoch
+  // order; returns true when any of them tripped early stopping.
+  bool JoinAsyncEvals(TrainResult& result, int* evals_without_improvement);
+
   const Dataset& data_;
   EmbeddingModel& model_;
   const LossFunction& loss_;
@@ -197,9 +239,18 @@ class Trainer {
   std::vector<WorkerScratch> scratch_;   // one per pool worker
   std::vector<ShardGrad> shards_;        // one per shard, reused per batch
   Evaluator evaluator_;
+  std::unique_ptr<AsyncEvaluator> async_eval_;  // null unless async_eval
   std::unique_ptr<Optimizer> optimizer_;
   Rng rng_;
   uint64_t stream_seed_;  // keys the per-sample negative-draw streams
+
+  // Snapshot-reuse bookkeeping: the optimizer-step counter, the last
+  // frozen snapshot and the step it captured. Evaluate() and the async
+  // submit path share a freeze when no step happened in between.
+  uint64_t step_count_ = 0;
+  mutable std::shared_ptr<const serve::ModelSnapshot> frozen_snapshot_;
+  mutable uint64_t frozen_snapshot_step_ = 0;
+  mutable size_t snapshots_frozen_ = 0;
 };
 
 }  // namespace bslrec

@@ -1,0 +1,409 @@
+// Async evaluation pipeline contracts:
+//   * TaskRunner runs tasks FIFO on one dispatcher, drains on
+//     destruction, and propagates background exceptions through Drain.
+//   * AsyncEvaluator metrics are bit-identical to a synchronous
+//     Evaluator pass over the same snapshot, for any background pool
+//     size, and records land in submission order.
+//   * Trainer with async_eval reproduces the synchronous metric history
+//     (evals, best, final, per-epoch losses) bitwise — for sampled MF
+//     and in-batch LightGCN, with and without early stopping, at any
+//     (num_threads, eval_threads) combination.
+//   * Checkpoints saved while a pass is in flight see the live tables;
+//     the pass sees the frozen ones (snapshot isolation).
+//   * Trainer::Evaluate() reuses the snapshot frozen for the current
+//     optimizer step instead of rebuilding it.
+#include "eval/async_evaluator.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "gtest/gtest.h"
+#include "models/checkpoint.h"
+#include "models/lightgcn.h"
+#include "models/mf.h"
+#include "runtime/task_runner.h"
+#include "runtime/thread_pool.h"
+#include "sampling/negative_sampler.h"
+#include "test_util.h"
+#include "train/trainer.h"
+
+namespace bslrec {
+namespace {
+
+SyntheticData EvalData(uint64_t seed = 11) {
+  SyntheticConfig c;
+  c.num_users = 90;
+  c.num_items = 70;
+  c.num_clusters = 5;
+  c.avg_items_per_user = 12.0;
+  c.seed = seed;
+  return GenerateSynthetic(c);
+}
+
+TrainConfig BaseConfig() {
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 256;
+  cfg.num_negatives = 8;
+  cfg.lr = 0.05;
+  cfg.eval_every = 2;
+  cfg.seed = 77;
+  cfg.runtime.num_threads = 1;
+  return cfg;
+}
+
+void ExpectSameMetrics(const TopKMetrics& a, const TopKMetrics& b) {
+  EXPECT_EQ(a.recall, b.recall);
+  EXPECT_EQ(a.ndcg, b.ndcg);
+  EXPECT_EQ(a.precision, b.precision);
+  EXPECT_EQ(a.hit_rate, b.hit_rate);
+  EXPECT_EQ(a.num_users, b.num_users);
+}
+
+// Bitwise equality of everything a TrainResult records.
+void ExpectSameResult(const TrainResult& a, const TrainResult& b) {
+  ExpectSameMetrics(a.best, b.best);
+  EXPECT_EQ(a.best_epoch, b.best_epoch);
+  ExpectSameMetrics(a.final_metrics, b.final_metrics);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t e = 0; e < a.history.size(); ++e) {
+    EXPECT_EQ(a.history[e].epoch, b.history[e].epoch);
+    EXPECT_EQ(a.history[e].avg_loss, b.history[e].avg_loss);
+    EXPECT_EQ(a.history[e].avg_aux_loss, b.history[e].avg_aux_loss);
+  }
+  ASSERT_EQ(a.evals.size(), b.evals.size());
+  for (size_t e = 0; e < a.evals.size(); ++e) {
+    EXPECT_EQ(a.evals[e].epoch, b.evals[e].epoch);
+    ExpectSameMetrics(a.evals[e].metrics, b.evals[e].metrics);
+  }
+}
+
+TrainResult TrainMf(const Dataset& data, const TrainConfig& cfg) {
+  Rng rng(5);
+  MfModel model(data.num_users(), data.num_items(), 16, rng);
+  SoftmaxLoss loss(0.2);
+  UniformNegativeSampler sampler(data);
+  Trainer trainer(data, model, loss, sampler, cfg);
+  return trainer.Train();
+}
+
+TrainResult TrainLightGcnInBatch(const Dataset& data, TrainConfig cfg) {
+  const BipartiteGraph graph(data);
+  Rng rng(6);
+  LightGcnModel model(graph, 16, 2, rng);
+  SoftmaxLoss loss(0.2);
+  UniformNegativeSampler sampler(data);  // unused in kInBatch mode
+  cfg.sampling_mode = SamplingMode::kInBatch;
+  Trainer trainer(data, model, loss, sampler, cfg);
+  return trainer.Train();
+}
+
+// ---- TaskRunner --------------------------------------------------------
+
+TEST(TaskRunner, RunsTasksInSubmissionOrder) {
+  runtime::TaskRunner runner(2);
+  std::vector<int> order;  // dispatcher-only writes; read after Drain
+  for (int t = 0; t < 8; ++t) {
+    runner.Submit([&order, t] { order.push_back(t); });
+  }
+  runner.Drain();
+  ASSERT_EQ(order.size(), 8u);
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(order[t], t);
+  EXPECT_EQ(runner.pending(), 0u);
+}
+
+TEST(TaskRunner, TasksMayDriveTheRunnersOwnPool) {
+  runtime::TaskRunner runner(3);
+  // A task is the pool's sole driver, so ParallelFor from inside it is
+  // legal — this is exactly how a background evaluation pass runs.
+  std::vector<uint64_t> shard_sums;
+  runner.Submit([&] {
+    constexpr size_t kN = 1000, kGrain = 64;
+    shard_sums.assign((kN + kGrain - 1) / kGrain, 0);
+    runtime::ParallelFor(runner.pool(), 0, kN, kGrain,
+                         [&](size_t lo, size_t hi, size_t shard, size_t) {
+                           for (size_t i = lo; i < hi; ++i) {
+                             shard_sums[shard] += i;
+                           }
+                         });
+  });
+  runner.Drain();
+  uint64_t total = 0;
+  for (uint64_t s : shard_sums) total += s;
+  EXPECT_EQ(total, 999u * 1000u / 2);
+}
+
+TEST(TaskRunner, DrainRethrowsTheFirstTaskException) {
+  runtime::TaskRunner runner(1);
+  std::atomic<int> ran{0};
+  runner.Submit([&] { ++ran; });
+  runner.Submit([] { throw std::runtime_error("pass failed"); });
+  runner.Submit([&] { ++ran; });  // later tasks still run
+  EXPECT_THROW(runner.Drain(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 2);
+  // The error was consumed; the runner stays usable.
+  runner.Submit([&] { ++ran; });
+  runner.Drain();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(TaskRunner, ExceptionInsidePoolSectionReachesDrain) {
+  runtime::TaskRunner runner(2);
+  runner.Submit([&] {
+    runtime::ParallelFor(runner.pool(), 0, 16, 1,
+                         [](size_t lo, size_t, size_t, size_t) {
+                           if (lo == 7) throw std::runtime_error("shard 7");
+                         });
+  });
+  EXPECT_THROW(runner.Drain(), std::runtime_error);
+}
+
+TEST(TaskRunner, DestructionDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    runtime::TaskRunner runner(1);
+    for (int t = 0; t < 5; ++t) {
+      runner.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+    }
+    // No Drain: the destructor must finish all five ("join on
+    // destruction"), not abandon the queue.
+  }
+  EXPECT_EQ(ran.load(), 5);
+}
+
+// ---- AsyncEvaluator ----------------------------------------------------
+
+TEST(AsyncEvaluator, MatchesSynchronousPassOverTheSameSnapshot) {
+  const SyntheticData data = EvalData();
+  Rng rng(3);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 16, rng);
+  model.Forward(rng);
+
+  runtime::ThreadPool freeze_pool(2);
+  const auto snapshot =
+      std::make_shared<const serve::ModelSnapshot>(model, freeze_pool);
+
+  const Evaluator sync_eval(data.dataset, 10, runtime::RuntimeConfig{1});
+  const TopKMetrics expected = sync_eval.BeginPassOn(snapshot).Evaluate();
+
+  runtime::RuntimeConfig rt;
+  rt.eval_threads = 2;
+  AsyncEvaluator async_eval(data.dataset, 10, rt);
+  async_eval.Submit(42, snapshot);
+  const std::vector<EvalRecord> records = async_eval.Join();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].epoch, 42);
+  ExpectSameMetrics(records[0].metrics, expected);
+}
+
+TEST(AsyncEvaluator, BackgroundPoolSizeNeverChangesMetrics) {
+  const SyntheticData data = EvalData(13);
+  Rng rng(4);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 16, rng);
+  model.Forward(rng);
+  runtime::ThreadPool freeze_pool(1);
+  const auto snapshot =
+      std::make_shared<const serve::ModelSnapshot>(model, freeze_pool);
+
+  std::vector<EvalRecord> baseline;
+  for (size_t eval_threads : {1u, 2u, 8u}) {
+    runtime::RuntimeConfig rt;
+    rt.eval_threads = eval_threads;
+    AsyncEvaluator async_eval(data.dataset, 10, rt);
+    EXPECT_EQ(async_eval.num_workers(), eval_threads);
+    async_eval.Submit(1, snapshot);
+    async_eval.Submit(2, snapshot);  // FIFO: same pass twice, in order
+    const std::vector<EvalRecord> records = async_eval.Join();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].epoch, 1);
+    EXPECT_EQ(records[1].epoch, 2);
+    ExpectSameMetrics(records[0].metrics, records[1].metrics);
+    if (baseline.empty()) {
+      baseline = records;
+    } else {
+      ExpectSameMetrics(records[0].metrics, baseline[0].metrics);
+    }
+  }
+}
+
+TEST(AsyncEvaluator, DestructionJoinsInFlightPasses) {
+  const SyntheticData data = EvalData(17);
+  Rng rng(9);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 16, rng);
+  model.Forward(rng);
+  runtime::ThreadPool freeze_pool(1);
+  auto snapshot =
+      std::make_shared<const serve::ModelSnapshot>(model, freeze_pool);
+  {
+    AsyncEvaluator async_eval(data.dataset, 10, runtime::RuntimeConfig{});
+    async_eval.Submit(1, snapshot);
+    // No Join: destruction must complete the pass, not abandon it.
+  }
+  // The background task held the only other reference to the snapshot;
+  // it ran to completion and released it.
+  EXPECT_EQ(snapshot.use_count(), 1);
+}
+
+// ---- Trainer integration ----------------------------------------------
+
+TEST(AsyncTrainer, MfHistoryBitIdenticalToSync) {
+  const SyntheticData data = EvalData(21);
+  TrainConfig sync_cfg = BaseConfig();
+  TrainConfig async_cfg = sync_cfg;
+  async_cfg.async_eval = true;
+  const TrainResult sync_result = TrainMf(data.dataset, sync_cfg);
+  const TrainResult async_result = TrainMf(data.dataset, async_cfg);
+  ASSERT_GE(sync_result.evals.size(), 3u);
+  ExpectSameResult(sync_result, async_result);
+}
+
+TEST(AsyncTrainer, LightGcnInBatchHistoryBitIdenticalToSync) {
+  const SyntheticData data = EvalData(23);
+  TrainConfig sync_cfg = BaseConfig();
+  sync_cfg.epochs = 4;
+  TrainConfig async_cfg = sync_cfg;
+  async_cfg.async_eval = true;
+  const TrainResult sync_result = TrainLightGcnInBatch(data.dataset, sync_cfg);
+  const TrainResult async_result =
+      TrainLightGcnInBatch(data.dataset, async_cfg);
+  ASSERT_GE(sync_result.evals.size(), 2u);
+  ExpectSameResult(sync_result, async_result);
+}
+
+TEST(AsyncTrainer, ThreadCountInvarianceAcrossBothPools) {
+  const SyntheticData data = EvalData(29);
+  TrainConfig cfg = BaseConfig();
+  const TrainResult baseline = TrainMf(data.dataset, cfg);  // sync, serial
+  for (size_t num_threads : {1u, 2u, 8u}) {
+    for (size_t eval_threads : {1u, 3u}) {
+      TrainConfig async_cfg = cfg;
+      async_cfg.async_eval = true;
+      async_cfg.runtime.num_threads = num_threads;
+      async_cfg.runtime.eval_threads = eval_threads;
+      const TrainResult result = TrainMf(data.dataset, async_cfg);
+      ExpectSameResult(baseline, result);
+    }
+  }
+}
+
+TEST(AsyncTrainer, EarlyStoppingTrajectoryMatchesSync) {
+  const SyntheticData data = EvalData(31);
+  TrainConfig sync_cfg = BaseConfig();
+  sync_cfg.epochs = 40;  // long enough that patience trips
+  sync_cfg.eval_every = 1;
+  sync_cfg.early_stop_patience = 2;
+  TrainConfig async_cfg = sync_cfg;
+  async_cfg.async_eval = true;
+  async_cfg.runtime.num_threads = 2;
+  const TrainResult sync_result = TrainMf(data.dataset, sync_cfg);
+  const TrainResult async_result = TrainMf(data.dataset, async_cfg);
+  // The whole point: the stop must fire after the same epoch.
+  EXPECT_LT(sync_result.history.size(), 40u);
+  ExpectSameResult(sync_result, async_result);
+}
+
+// Snapshot isolation (satellite): a checkpoint saved while a background
+// pass is provably in flight reflects the *live* tables; the joined
+// pass reflects the *frozen* ones.
+TEST(AsyncEvalCheckpoint, SaveDuringInFlightPassSeesLiveTables) {
+  const SyntheticData data = EvalData(37);
+  const std::string path =
+      ::testing::TempDir() + "/bslrec_async_ckpt.bin";
+  Rng rng(8);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 8, rng);
+  model.Forward(rng);
+
+  runtime::TaskRunner runner(2);
+  const Evaluator background_eval(data.dataset, 10, &runner.pool());
+  runtime::ThreadPool freeze_pool(1);
+  const auto snapshot =
+      std::make_shared<const serve::ModelSnapshot>(model, freeze_pool);
+  const Evaluator reference_eval(data.dataset, 10,
+                                 runtime::RuntimeConfig{1});
+  const TopKMetrics frozen_metrics =
+      reference_eval.BeginPassOn(snapshot).Evaluate();
+
+  // Gate the queue so the pass is still pending while we mutate + save.
+  std::atomic<bool> go{false};
+  runner.Submit([&go] {
+    while (!go.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  TopKMetrics in_flight_metrics;
+  runner.Submit([&] {
+    in_flight_metrics = background_eval.BeginPassOn(snapshot).Evaluate();
+  });
+
+  // "Training steps" while the pass is queued: mutate the live params.
+  for (ParamGrad pg : model.Params()) {
+    for (size_t k = 0; k < pg.value->size(); ++k) {
+      pg.value->data()[k] += 0.25f * static_cast<float>(k % 3);
+    }
+  }
+  Rng fwd_rng(12);
+  model.Forward(fwd_rng);
+  ASSERT_TRUE(SaveModelParams(model, path));
+  go.store(true);
+  runner.Drain();
+
+  // The pass scored the frozen snapshot, untouched by the mutation.
+  ExpectSameMetrics(in_flight_metrics, frozen_metrics);
+
+  // The checkpoint captured the mutated live tables.
+  Rng rng2(999);
+  MfModel restored(data.dataset.num_users(), data.dataset.num_items(), 8,
+                   rng2);
+  ASSERT_TRUE(LoadModelParams(restored, path));
+  const auto live = model.Params();
+  const auto loaded = restored.Params();
+  ASSERT_EQ(live.size(), loaded.size());
+  for (size_t p = 0; p < live.size(); ++p) {
+    ASSERT_EQ(live[p].value->size(), loaded[p].value->size());
+    for (size_t k = 0; k < live[p].value->size(); ++k) {
+      ASSERT_EQ(live[p].value->data()[k], loaded[p].value->data()[k]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// Snapshot reuse (satellite fix): Evaluate() right after training ended
+// must reuse the snapshot the last eval epoch froze — not rebuild one —
+// and must rebuild once the tables step again.
+TEST(AsyncTrainer, EvaluateReusesTheSnapshotFrozenForTheLastEval) {
+  const SyntheticData data = EvalData(41);
+  TrainConfig cfg = BaseConfig();
+  cfg.async_eval = true;
+  Rng rng(5);
+  MfModel model(data.dataset.num_users(), data.dataset.num_items(), 16, rng);
+  SoftmaxLoss loss(0.2);
+  UniformNegativeSampler sampler(data.dataset);
+  Trainer trainer(data.dataset, model, loss, sampler, cfg);
+  const TrainResult result = trainer.Train();
+  const size_t frozen_after_train = trainer.snapshots_frozen();
+  EXPECT_EQ(frozen_after_train, result.evals.size());
+
+  // No optimizer step since the last freeze: reuse, bit-identical.
+  const TopKMetrics reused = trainer.Evaluate();
+  EXPECT_EQ(trainer.snapshots_frozen(), frozen_after_train);
+  ExpectSameMetrics(reused, result.final_metrics);
+
+  // A fresh epoch steps the tables: the next Evaluate must re-freeze.
+  trainer.RunEpoch(cfg.epochs + 1);
+  trainer.Evaluate();
+  EXPECT_EQ(trainer.snapshots_frozen(), frozen_after_train + 1);
+}
+
+}  // namespace
+}  // namespace bslrec

@@ -54,6 +54,8 @@ struct Options {
   uint32_t eval_k = 20;
   uint64_t seed = 42;
   size_t threads = 0;  // 0 = hardware concurrency, 1 = serial
+  bool async_eval = false;
+  size_t eval_threads = 0;  // 0 = half the training budget
   std::string save_path;
   std::string load_path;
 };
@@ -69,13 +71,21 @@ void Usage() {
       "                    [--dim=N] [--layers=N] [--epochs=N] [--lr=X]\n"
       "                    [--negatives=N] [--batch=N] [--in-batch]\n"
       "                    [--eval-every=N] [--eval-k=N] [--seed=N]\n"
-      "                    [--threads=N] [--save=F] [--load=F]\n"
+      "                    [--threads=N] [--async-eval] [--eval-threads=N]\n"
+      "                    [--save=F] [--load=F]\n"
       "\n"
       "--threads: worker count for training, evaluation, and graph\n"
       "propagation — the trainer hands its pool to the model, so GCN\n"
       "backbones' Forward/Backward parallelize too (0 = one per\n"
       "hardware thread, 1 = serial). Results are bit-identical for any\n"
-      "value.\n");
+      "value.\n"
+      "\n"
+      "--async-eval: overlap each periodic evaluation with the next\n"
+      "training epoch — the trainer freezes a model snapshot and a\n"
+      "background pool runs the full ranking pass while training\n"
+      "continues. Reported metrics are bit-identical to synchronous\n"
+      "evaluation; only wall time changes. --eval-threads sizes the\n"
+      "background pool (0 = half of --threads, at least 1).\n");
 }
 
 bool ParseFlags(int argc, char** argv, Options& opts) {
@@ -141,6 +151,15 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
         return false;
       }
       opts.threads = static_cast<size_t>(n);
+    } else if (key == "async-eval") {
+      opts.async_eval = true;
+    } else if (key == "eval-threads") {
+      const long long n = as_int();
+      if (n < 0) {
+        std::fprintf(stderr, "--eval-threads must be >= 0 (got %lld)\n", n);
+        return false;
+      }
+      opts.eval_threads = static_cast<size_t>(n);
     } else if (key == "save") {
       opts.save_path = value;
     } else if (key == "load") {
@@ -208,6 +227,8 @@ int main(int argc, char** argv) {
   cfg.metric_k = opts.eval_k;
   cfg.seed = opts.seed;
   cfg.runtime.num_threads = opts.threads;
+  cfg.async_eval = opts.async_eval;
+  cfg.runtime.eval_threads = opts.eval_threads;
 
   bslrec::Trainer trainer(*data, *model, *loss, sampler, cfg);
   std::printf("training %s + %s (dim %zu, %d epochs)...\n",
