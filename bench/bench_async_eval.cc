@@ -154,13 +154,8 @@ int main() {
         "(informational only)\n");
   }
 
-  FILE* out = std::fopen("BENCH_async.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_async.json\n");
-    return 1;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"hardware_threads\": %zu,\n", hw);
+  FILE* out = bench::BeginBenchJson("BENCH_async.json");
+  if (out == nullptr) return 1;
   std::fprintf(out,
                "  \"dataset\": {\"users\": %u, \"items\": %u, "
                "\"train_edges\": %zu, \"dim\": %zu, \"epochs\": %d},\n",
@@ -183,10 +178,7 @@ int main() {
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"async_faster_at_hw_threads\": %s,\n",
                async_faster_at_hw ? "true" : "false");
-  std::fprintf(out, "  \"metrics_bit_identical\": %s\n",
-               identical ? "true" : "false");
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote BENCH_async.json\n");
+  bench::FinishBenchJson(out, "BENCH_async.json", identical,
+                         "metrics_bit_identical");
   return identical ? 0 : 1;
 }

@@ -110,14 +110,8 @@ int main() {
               identical ? "yes" : "NO — BUG");
 
   // ---- machine-readable output ----
-  FILE* out = std::fopen("BENCH_graph.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_graph.json\n");
-    return 1;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
-               runtime::ResolveNumThreads(0));
+  FILE* out = bench::BeginBenchJson("BENCH_graph.json");
+  if (out == nullptr) return 1;
   std::fprintf(out,
                "  \"graph\": {\"users\": %u, \"items\": %u, \"nnz\": %zu, "
                "\"dim\": %zu, \"layers\": %d},\n",
@@ -143,9 +137,6 @@ int main() {
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"bit_identical\": %s\n", identical ? "true" : "false");
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote BENCH_graph.json\n");
+  bench::FinishBenchJson(out, "BENCH_graph.json", identical);
   return identical ? 0 : 1;
 }

@@ -121,14 +121,8 @@ int main() {
               identical ? "yes" : "NO — BUG");
 
   // ---- machine-readable output ----
-  FILE* out = std::fopen("BENCH_runtime.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_runtime.json\n");
-    return 1;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
-               runtime::ResolveNumThreads(0));
+  FILE* out = bench::BeginBenchJson("BENCH_runtime.json");
+  if (out == nullptr) return 1;
   std::fprintf(out,
                "  \"dataset\": {\"users\": %u, \"items\": %u, "
                "\"train_edges\": %zu, \"dim\": %zu},\n",
@@ -155,9 +149,6 @@ int main() {
                  i + 1 < train_points.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"bit_identical\": %s\n", identical ? "true" : "false");
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote BENCH_runtime.json\n");
+  bench::FinishBenchJson(out, "BENCH_runtime.json", identical);
   return identical ? 0 : 1;
 }

@@ -384,14 +384,8 @@ int main() {
               identical ? "yes" : "NO — BUG");
 
   // ---- machine-readable output ----
-  FILE* out = std::fopen("BENCH_sampling.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_sampling.json\n");
-    return 1;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
-               runtime::ResolveNumThreads(0));
+  FILE* out = bench::BeginBenchJson("BENCH_sampling.json");
+  if (out == nullptr) return 1;
   std::fprintf(out,
                "  \"dataset\": {\"users\": %u, \"items\": %u, "
                "\"train_edges\": %zu, \"dim\": %zu, \"num_negatives\": "
@@ -428,9 +422,6 @@ int main() {
                  i + 1 < train_points.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"bit_identical\": %s\n", identical ? "true" : "false");
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote BENCH_sampling.json\n");
+  bench::FinishBenchJson(out, "BENCH_sampling.json", identical);
   return identical ? 0 : 1;
 }

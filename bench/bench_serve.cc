@@ -1,13 +1,22 @@
 // Inference-service bench: per-batch latency percentiles (p50/p99) and
-// request throughput for the sharded top-k scorer at batch sizes
-// 1 / 16 / 256 and 1 / 2 / hardware threads, plus a probe that the
-// responses stay bit-identical across worker counts. Emits
+// request throughput for the sharded top-k scorer, exact fp32 scan vs
+// the int8 quantized two-phase scan (ServeConfig::quantize), across
+// batch sizes and 1 / 2 / hardware threads — plus the probe that gates
+// the exit code: quantized responses must be bit-identical to the
+// exact 1-thread baseline for every mode and worker count. Emits
 // machine-readable BENCH_serve.json into the working directory.
 //
 // The ranking cache is disabled so every request pays full catalog
 // scoring — the numbers measure the scorer, not the cache.
 //
-// BSLREC_FAST=1 shrinks the dataset and repetitions for CI.
+// Tiers:
+//   BSLREC_FAST=1   tiny catalog, few reps (CI smoke)
+//   BSLREC_SCALE=1  serving-scale: 100k-item catalog, dim 128,
+//                   power-law (zipf) item popularity — the regime where
+//                   the 4x memory-traffic cut of the int8 scan shows up
+//                   as req/s. On a multi-core host quantized should
+//                   beat exact here; single-core it is informational.
+//   (neither)       mid-size default
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -25,6 +34,7 @@ namespace {
 using namespace bslrec;  // NOLINT: bench-local convenience
 
 struct ServePoint {
+  const char* mode;  // "exact" | "quantized"
   size_t threads;
   size_t batch;
   double p50_ms;
@@ -50,7 +60,7 @@ double Percentile(const std::vector<double>& sorted_ms, double p) {
 }
 
 // Deterministic request stream: users cycle through a seeded shuffle so
-// every (threads, batch) point serves the same traffic.
+// every (mode, threads, batch) point serves the same traffic.
 std::vector<serve::TopKRequest> MakeRequests(size_t count,
                                              uint32_t num_users,
                                              uint32_t k, uint64_t seed) {
@@ -63,103 +73,155 @@ std::vector<serve::TopKRequest> MakeRequests(size_t count,
   return reqs;
 }
 
+serve::ServeConfig MakeConfig(uint32_t k, size_t threads, bool quantize) {
+  serve::ServeConfig sc;
+  sc.max_k = k;
+  sc.cache_rankings = false;  // measure scoring, not cache hits
+  sc.quantize = quantize;
+  sc.runtime.num_threads = threads;
+  return sc;
+}
+
 }  // namespace
 
 int main() {
   const bool fast = bench::FastMode();
+  const bool scale = bench::ScaleMode();
   SyntheticConfig cfg;
-  cfg.num_users = fast ? 400 : 1500;
-  cfg.num_items = fast ? 300 : 1200;
-  cfg.num_clusters = 10;
-  cfg.avg_items_per_user = 18.0;
+  if (scale) {
+    // Serving-scale: catalog far beyond cache, production embedding
+    // width, zipf popularity so the item-degree distribution is skewed
+    // like real traffic.
+    cfg.num_users = 2000;
+    cfg.num_items = 100000;
+    cfg.num_clusters = 25;
+    cfg.avg_items_per_user = 25.0;
+    cfg.zipf_alpha = 1.1;
+  } else {
+    cfg.num_users = fast ? 400 : 1500;
+    cfg.num_items = fast ? 300 : 1200;
+    cfg.num_clusters = 10;
+    cfg.avg_items_per_user = 18.0;
+  }
   cfg.seed = 77;
   const Dataset data = GenerateSynthetic(cfg).dataset;
-  const size_t dim = fast ? 16 : 48;
+  const size_t dim = scale ? 128 : (fast ? 16 : 48);
   const uint32_t k = 20;
-  const size_t batches_per_point = fast ? 8 : 30;
+  const size_t batches_per_point = scale ? 10 : (fast ? 8 : 30);
+  const std::vector<size_t> batch_sizes =
+      scale ? std::vector<size_t>{64, 256} : std::vector<size_t>{1, 16, 256};
 
   Rng rng(5);
   MfModel model(data.num_users(), data.num_items(), dim, rng);
   model.Forward(rng);
 
-  std::printf("serve bench: %u users, %u items, dim %zu, k %u\n",
-              data.num_users(), data.num_items(), dim, k);
+  std::printf("serve bench%s: %u users, %u items, dim %zu, k %u\n",
+              scale ? " [scale tier]" : "", data.num_users(),
+              data.num_items(), dim, k);
 
-  const std::vector<size_t> batch_sizes = {1, 16, 256};
   std::vector<ServePoint> points;
   for (size_t threads : ThreadCounts()) {
-    serve::ServeConfig sc;
-    sc.max_k = k;
-    sc.cache_rankings = false;  // measure scoring, not cache hits
-    sc.runtime.num_threads = threads;
-    serve::InferenceService service(data, model, sc);
-    for (size_t batch : batch_sizes) {
-      const std::vector<serve::TopKRequest> reqs =
-          MakeRequests(batch * batches_per_point, data.num_users(), k, 31);
-      // Warm-up batch (pool wake-up, allocator).
-      service.HandleBatch({reqs.data(), batch});
-      std::vector<double> latencies_ms;
-      latencies_ms.reserve(batches_per_point);
-      double total_secs = 0.0;
-      for (size_t b = 0; b < batches_per_point; ++b) {
-        const auto t0 = std::chrono::steady_clock::now();
-        const auto resps =
-            service.HandleBatch({reqs.data() + b * batch, batch});
-        const double secs = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - t0)
-                                .count();
-        latencies_ms.push_back(secs * 1000.0);
-        total_secs += secs;
-        if (resps.size() != batch) return 1;  // paranoia
+    for (const bool quantize : {false, true}) {
+      serve::InferenceService service(data, model,
+                                      MakeConfig(k, threads, quantize));
+      for (size_t batch : batch_sizes) {
+        const std::vector<serve::TopKRequest> reqs =
+            MakeRequests(batch * batches_per_point, data.num_users(), k, 31);
+        // Warm-up batch (pool wake-up, allocator).
+        service.HandleBatch({reqs.data(), batch});
+        std::vector<double> latencies_ms;
+        latencies_ms.reserve(batches_per_point);
+        double total_secs = 0.0;
+        for (size_t b = 0; b < batches_per_point; ++b) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto resps =
+              service.HandleBatch({reqs.data() + b * batch, batch});
+          const double secs = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+          latencies_ms.push_back(secs * 1000.0);
+          total_secs += secs;
+          if (resps.size() != batch) return 1;  // paranoia
+        }
+        std::sort(latencies_ms.begin(), latencies_ms.end());
+        ServePoint p;
+        p.mode = quantize ? "quantized" : "exact";
+        p.threads = threads;
+        p.batch = batch;
+        p.p50_ms = Percentile(latencies_ms, 0.50);
+        p.p99_ms = Percentile(latencies_ms, 0.99);
+        p.requests_per_sec =
+            static_cast<double>(batch * batches_per_point) / total_secs;
+        points.push_back(p);
+        std::printf(
+            "%-9s threads=%zu batch=%-3zu  p50 %.3f ms  p99 %.3f ms  "
+            "%.0f req/s\n",
+            p.mode, threads, batch, p.p50_ms, p.p99_ms, p.requests_per_sec);
       }
-      std::sort(latencies_ms.begin(), latencies_ms.end());
-      ServePoint p;
-      p.threads = threads;
-      p.batch = batch;
-      p.p50_ms = Percentile(latencies_ms, 0.50);
-      p.p99_ms = Percentile(latencies_ms, 0.99);
-      p.requests_per_sec =
-          static_cast<double>(batch * batches_per_point) / total_secs;
-      points.push_back(p);
-      std::printf(
-          "threads=%zu batch=%-3zu  p50 %.3f ms  p99 %.3f ms  %.0f req/s\n",
-          threads, batch, p.p50_ms, p.p99_ms, p.requests_per_sec);
     }
   }
 
-  // ---- determinism probe: responses must match the 1-thread service ----
+  // Quantized-vs-exact throughput at the widest point (hw threads,
+  // largest batch): the headline the scale tier exists to measure.
+  double speedup_at_hw = 0.0;
+  {
+    double exact_rps = 0.0, quant_rps = 0.0;
+    for (const ServePoint& p : points) {
+      if (p.threads == ThreadCounts().back() &&
+          p.batch == batch_sizes.back()) {
+        (p.mode[0] == 'e' ? exact_rps : quant_rps) = p.requests_per_sec;
+      }
+    }
+    if (exact_rps > 0.0) speedup_at_hw = quant_rps / exact_rps;
+    std::printf("quantized vs exact at hw threads, batch %zu: %.2fx\n",
+                batch_sizes.back(), speedup_at_hw);
+    if (runtime::ResolveNumThreads(0) > 1) {
+      std::printf("quantized strictly faster at hw threads: %s\n",
+                  speedup_at_hw > 1.0 ? "yes" : "NO");
+    } else {
+      std::printf(
+          "single hardware core: phase-1 bandwidth win is muted "
+          "(informational only)\n");
+    }
+  }
+
+  // ---- bit-identity probe (gates the exit code) ----
+  // Every mode at every worker count must reproduce the exact scorer's
+  // 1-thread responses bitwise — the quantized scan is an acceleration
+  // structure, never a different ranking function.
   bool identical = true;
+  serve::CatalogScorer::Stats quant_stats;
   {
     const std::vector<serve::TopKRequest> probe =
-        MakeRequests(64, data.num_users(), k, 97);
-    serve::ServeConfig sc;
-    sc.max_k = k;
-    sc.cache_rankings = false;
-    sc.runtime.num_threads = 1;
-    serve::InferenceService baseline(data, model, sc);
+        MakeRequests(scale ? 32 : 64, data.num_users(), k, 97);
+    serve::InferenceService baseline(data, model, MakeConfig(k, 1, false));
     const auto want = baseline.HandleBatch(probe);
     for (size_t threads : ThreadCounts()) {
-      sc.runtime.num_threads = threads;
-      serve::InferenceService service(data, model, sc);
-      const auto got = service.HandleBatch(probe);
-      for (size_t r = 0; r < probe.size(); ++r) {
-        identical = identical && got[r].items == want[r].items &&
-                    got[r].scores == want[r].scores;
+      for (const bool quantize : {false, true}) {
+        serve::InferenceService service(data, model,
+                                        MakeConfig(k, threads, quantize));
+        const auto got = service.HandleBatch(probe);
+        for (size_t r = 0; r < probe.size(); ++r) {
+          identical = identical && got[r].items == want[r].items &&
+                      got[r].scores == want[r].scores;
+        }
+        if (quantize) {
+          const serve::CatalogScorer::Stats st = service.scorer().stats();
+          quant_stats.shards_scanned += st.shards_scanned;
+          quant_stats.shards_fallback += st.shards_fallback;
+        }
       }
     }
   }
-  std::printf("bit-identical across thread counts: %s\n",
+  std::printf("quantized/exact bit-identical across thread counts: %s\n",
               identical ? "yes" : "NO — BUG");
+  std::printf("quantized probe scan: %llu shard tasks, %llu exact fallbacks\n",
+              static_cast<unsigned long long>(quant_stats.shards_scanned),
+              static_cast<unsigned long long>(quant_stats.shards_fallback));
 
   // ---- machine-readable output ----
-  FILE* out = std::fopen("BENCH_serve.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
-    return 1;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
-               runtime::ResolveNumThreads(0));
+  FILE* out = bench::BeginBenchJson("BENCH_serve.json");
+  if (out == nullptr) return 1;
   std::fprintf(out,
                "  \"dataset\": {\"users\": %u, \"items\": %u, "
                "\"dim\": %zu, \"k\": %u},\n",
@@ -168,15 +230,20 @@ int main() {
   for (size_t i = 0; i < points.size(); ++i) {
     const ServePoint& p = points[i];
     std::fprintf(out,
-                 "    {\"threads\": %zu, \"batch\": %zu, \"p50_ms\": %.4f, "
-                 "\"p99_ms\": %.4f, \"requests_per_sec\": %.1f}%s\n",
-                 p.threads, p.batch, p.p50_ms, p.p99_ms, p.requests_per_sec,
-                 i + 1 < points.size() ? "," : "");
+                 "    {\"mode\": \"%s\", \"threads\": %zu, \"batch\": %zu, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"requests_per_sec\": %.1f}%s\n",
+                 p.mode, p.threads, p.batch, p.p50_ms, p.p99_ms,
+                 p.requests_per_sec, i + 1 < points.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"bit_identical\": %s\n", identical ? "true" : "false");
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote BENCH_serve.json\n");
+  std::fprintf(out, "  \"quantized_speedup_at_hw_threads\": %.3f,\n",
+               speedup_at_hw);
+  std::fprintf(out,
+               "  \"quantized_probe_scan\": {\"shard_tasks\": %llu, "
+               "\"exact_fallbacks\": %llu},\n",
+               static_cast<unsigned long long>(quant_stats.shards_scanned),
+               static_cast<unsigned long long>(quant_stats.shards_fallback));
+  bench::FinishBenchJson(out, "BENCH_serve.json", identical);
   return identical ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,10 +19,12 @@
 #include "core/losses.h"
 #include "data/synthetic.h"
 #include "graph/bipartite_graph.h"
+#include "math/vec.h"
 #include "models/contrastive.h"
 #include "models/lightgcn.h"
 #include "models/mf.h"
 #include "models/ngcf.h"
+#include "runtime/thread_pool.h"
 #include "sampling/negative_sampler.h"
 #include "train/trainer.h"
 
@@ -64,6 +67,124 @@ struct RunSpec {
 inline bool FastMode() {
   const char* env = std::getenv("BSLREC_FAST");
   return env != nullptr && env[0] == '1';
+}
+
+// BSLREC_SCALE=1 selects the opposite regime from BSLREC_FAST: a
+// serving-scale workload (wide catalogs, production dims) for benches
+// that support it. FAST wins when both are set.
+inline bool ScaleMode() {
+  const char* env = std::getenv("BSLREC_SCALE");
+  return env != nullptr && env[0] == '1' && !FastMode();
+}
+
+// ---- machine topology ----------------------------------------------------
+//
+// Every BENCH_*.json leads with a "machine" object so a results file is
+// interpretable without knowing which host produced it: thread count,
+// SIMD tier the binary dispatched to, cache geometry (the quantized
+// catalog scan is a cache-footprint play), and which env switches
+// shaped the workload. Cache fields are 0 when sysfs is unavailable
+// (non-Linux, restricted containers) — absent, not wrong.
+
+struct MachineTopology {
+  size_t hardware_threads = 0;
+  std::string simd_tier;        // vec::SimdTier(): "avx2" / "sse2" / "scalar"
+  size_t cache_line_bytes = 0;  // coherency line size; 0 = unknown
+  size_t l1d_kib = 0;           // per-core L1 data cache; 0 = unknown
+  size_t l2_kib = 0;
+  size_t l3_kib = 0;
+  bool fast_mode = false;   // BSLREC_FAST=1
+  bool scale_mode = false;  // BSLREC_SCALE=1
+};
+
+// Parses a sysfs cache size string ("32K", "8192K", "1M") into KiB;
+// returns 0 on anything unrecognized.
+inline size_t ParseCacheSizeKib(const std::string& s) {
+  if (s.empty()) return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str()) return 0;
+  if (*end == 'K') return static_cast<size_t>(v);
+  if (*end == 'M') return static_cast<size_t>(v) * 1024;
+  return 0;
+}
+
+inline MachineTopology QueryMachineTopology() {
+  MachineTopology t;
+  t.hardware_threads = runtime::ResolveNumThreads(0);
+  t.simd_tier = vec::SimdTier();
+  t.fast_mode = FastMode();
+  t.scale_mode = ScaleMode();
+  // cpu0's cache hierarchy stands in for the machine's (homogeneous
+  // cores are the overwhelmingly common case; on hybrid parts this
+  // reports the boot core).
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(idx) + "/";
+    std::ifstream level_f(base + "level");
+    std::ifstream type_f(base + "type");
+    std::ifstream size_f(base + "size");
+    if (!level_f || !type_f || !size_f) continue;
+    int level = 0;
+    std::string type, size_str;
+    level_f >> level;
+    type_f >> type;
+    size_f >> size_str;
+    if (type == "Instruction") continue;  // want data/unified capacities
+    const size_t kib = ParseCacheSizeKib(size_str);
+    if (level == 1) {
+      t.l1d_kib = kib;
+    } else if (level == 2) {
+      t.l2_kib = kib;
+    } else if (level == 3) {
+      t.l3_kib = kib;
+    }
+    if (t.cache_line_bytes == 0) {
+      std::ifstream line_f(base + "coherency_line_size");
+      size_t bytes = 0;
+      if (line_f >> bytes) t.cache_line_bytes = bytes;
+    }
+  }
+  return t;
+}
+
+// ---- BENCH_*.json envelope -----------------------------------------------
+//
+// Opens `path`, writes the opening brace plus the shared "machine"
+// header, and returns the stream (nullptr + stderr diagnostic on
+// failure). The bench then prints its own payload keys and closes the
+// envelope with FinishBenchJson, which appends the determinism-probe
+// verdict under `probe_key`, closes the file, and logs the write. Keys
+// the benches already emitted before this helper existed keep their
+// names ("bit_identical", "metrics_bit_identical") via `probe_key`.
+
+inline FILE* BeginBenchJson(const char* path) {
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return nullptr;
+  }
+  const MachineTopology t = QueryMachineTopology();
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"machine\": {\"hardware_threads\": %zu, "
+               "\"simd_tier\": \"%s\", \"cache_line_bytes\": %zu, "
+               "\"l1d_kib\": %zu, \"l2_kib\": %zu, \"l3_kib\": %zu, "
+               "\"fast_mode\": %s, \"scale_mode\": %s},\n",
+               t.hardware_threads, t.simd_tier.c_str(), t.cache_line_bytes,
+               t.l1d_kib, t.l2_kib, t.l3_kib, t.fast_mode ? "true" : "false",
+               t.scale_mode ? "true" : "false");
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n", t.hardware_threads);
+  return out;
+}
+
+inline void FinishBenchJson(FILE* out, const char* path, bool probe_passed,
+                            const char* probe_key = "bit_identical") {
+  std::fprintf(out, "  \"%s\": %s\n", probe_key,
+               probe_passed ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
 }
 
 // Standard protocol used by (almost) every figure/table.

@@ -265,6 +265,98 @@ void BM_DotBatchPerRowLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_DotBatchPerRowLoop)->Arg(16)->Arg(64)->Arg(256);
 
+// ---- int8 catalog-scan kernels (quantized two-phase scorer) ----
+// SIMD dispatch vs the always-compiled scalar reference (vec::ref), and
+// the batched int8 scan vs the fp32 DotBatch it displaces in phase 1 —
+// the latter pair is the memory-traffic argument in numbers.
+
+std::vector<int8_t> QuantizedVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int8_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<int8_t>(static_cast<int>(rng.NextIndex(255)) - 127);
+  }
+  return v;
+}
+
+void BM_DotI8(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = QuantizedVec(n, 31), b = QuantizedVec(n, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::DotI8(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DotI8)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DotI8Ref(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = QuantizedVec(n, 31), b = QuantizedVec(n, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::ref::DotI8(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DotI8Ref)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+// One phase-1 shard scan: 64 catalog rows against one quantized query.
+// Compare against BM_DotBatchBlocked at the same dim for the int8 vs
+// fp32 bandwidth story.
+void BM_DotBatchI8(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  constexpr size_t kRows = 64;
+  const auto q = QuantizedVec(d, 33);
+  const auto rows = QuantizedVec(kRows * d, 34);
+  std::vector<int32_t> out(kRows);
+  for (auto _ : state) {
+    vec::DotBatchI8(q.data(), rows.data(), kRows, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * d);
+}
+BENCHMARK(BM_DotBatchI8)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DotBatchI8Ref(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  constexpr size_t kRows = 64;
+  const auto q = QuantizedVec(d, 33);
+  const auto rows = QuantizedVec(kRows * d, 34);
+  std::vector<int32_t> out(kRows);
+  for (auto _ : state) {
+    vec::ref::DotBatchI8(q.data(), rows.data(), kRows, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * d);
+}
+BENCHMARK(BM_DotBatchI8Ref)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+// Row quantization — the snapshot-freeze cost of building the int8
+// table and the per-query cost of encoding q into codes.
+void BM_QuantizeRow(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = GaussianVec(n, 35);
+  std::vector<int8_t> codes(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::QuantizeRow(x.data(), n, codes.data()));
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QuantizeRow)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_QuantizeRowRef(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = GaussianVec(n, 35);
+  std::vector<int8_t> codes(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vec::ref::QuantizeRow(x.data(), n, codes.data()));
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QuantizeRowRef)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_StreamRngDraws(benchmark::State& state) {
   // Cost of one full per-sample stream: construction + 64 bounded draws,
   // the trainer's per-sample sampling pattern.

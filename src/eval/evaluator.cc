@@ -19,9 +19,11 @@ constexpr size_t kEvalGrain = 8;
 }  // namespace
 
 Evaluator::Evaluator(const Dataset& data, uint32_t k,
-                     runtime::RuntimeConfig runtime)
+                     runtime::RuntimeConfig runtime,
+                     serve::ScorerOptions scoring)
     : data_(data),
       k_(k),
+      scoring_(scoring),
       test_users_(data.TestUsers()),
       owned_pool_(
           std::make_unique<runtime::ThreadPool>(runtime.num_threads)),
@@ -30,15 +32,21 @@ Evaluator::Evaluator(const Dataset& data, uint32_t k,
 }
 
 Evaluator::Evaluator(const Dataset& data, uint32_t k,
-                     runtime::ThreadPool* pool)
-    : data_(data), k_(k), test_users_(data.TestUsers()), pool_(pool) {
+                     runtime::ThreadPool* pool, serve::ScorerOptions scoring)
+    : data_(data),
+      k_(k),
+      scoring_(scoring),
+      test_users_(data.TestUsers()),
+      pool_(pool) {
   BSLREC_CHECK(k > 0);
   BSLREC_CHECK(pool != nullptr);
 }
 
 Evaluator::Pass::Pass(const Evaluator& eval, const EmbeddingModel& model)
-    : Pass(eval,
-           std::make_shared<const serve::ModelSnapshot>(model, *eval.pool_)) {}
+    : Pass(eval, std::make_shared<const serve::ModelSnapshot>(
+                     model, *eval.pool_,
+                     serve::SnapshotOptions{.quantize_items =
+                                                eval.scoring_.quantize})) {}
 
 Evaluator::Pass::Pass(const Evaluator& eval,
                       std::shared_ptr<const serve::ModelSnapshot> snapshot)
@@ -49,8 +57,14 @@ Evaluator::Pass::Pass(const Evaluator& eval,
   BSLREC_CHECK_MSG(snapshot_->num_users() == eval_.data_.num_users() &&
                        snapshot_->num_items() == eval_.data_.num_items(),
                    "snapshot shape does not match the evaluator's dataset");
-  for (WorkerScratch& ws : scratch_) {
-    ws.scores.resize(eval_.data_.num_items());
+  BSLREC_CHECK_MSG(
+      !eval_.scoring_.quantize || snapshot_->has_quantized_items(),
+      "quantized evaluator pass needs a snapshot built with "
+      "SnapshotOptions::quantize_items");
+  if (!eval_.scoring_.quantize) {
+    for (WorkerScratch& ws : scratch_) {
+      ws.scores.resize(eval_.data_.num_items());
+    }
   }
 }
 
@@ -59,26 +73,33 @@ void Evaluator::Pass::ScoreUser(uint32_t user, WorkerScratch& ws) {
                         snapshot_->num_items(), ws.scores.data());
 }
 
-template <typename Fn>
-void Evaluator::Pass::ForEachTestUser(Fn&& fn) {
-  runtime::ParallelFor(
-      *eval_.pool_, 0, eval_.test_users_.size(), kEvalGrain,
-      [&](size_t lo, size_t hi, size_t /*shard*/, size_t worker) {
-        WorkerScratch& ws = scratch_[worker];
-        for (size_t t = lo; t < hi; ++t) {
-          const uint32_t u = eval_.test_users_[t];
-          ScoreUser(u, ws);
-          fn(t, u, ws.scores);
-        }
-      });
+std::vector<uint32_t> Evaluator::Pass::RankUser(uint32_t user, uint32_t k,
+                                                WorkerScratch& ws) {
+  if (eval_.scoring_.quantize) {
+    // Certified two-phase scan, serial per user (the surrounding user
+    // loop is the parallel axis). Bit-identical to the exact branch.
+    const std::vector<serve::ScoredItem> top = serve::QuantizedCatalogTopK(
+        *snapshot_, snapshot_->UserVec(user), k, eval_.data_.TrainItems(user),
+        eval_.scoring_, ws.qscan);
+    std::vector<uint32_t> items(top.size());
+    for (size_t i = 0; i < top.size(); ++i) items[i] = top[i].item;
+    return items;
+  }
+  ScoreUser(user, ws);
+  return eval_.RankTopK(ws.scores, user, k);
 }
 
 std::vector<std::vector<uint32_t>> Evaluator::Pass::ComputeRankings(
     uint32_t k) {
   std::vector<std::vector<uint32_t>> rankings(eval_.test_users_.size());
-  ForEachTestUser([&](size_t t, uint32_t u, const std::vector<float>& scores) {
-    rankings[t] = eval_.RankTopK(scores, u, k);
-  });
+  runtime::ParallelFor(
+      *eval_.pool_, 0, eval_.test_users_.size(), kEvalGrain,
+      [&](size_t lo, size_t hi, size_t /*shard*/, size_t worker) {
+        WorkerScratch& ws = scratch_[worker];
+        for (size_t t = lo; t < hi; ++t) {
+          rankings[t] = RankUser(eval_.test_users_[t], k, ws);
+        }
+      });
   return rankings;
 }
 
@@ -145,9 +166,7 @@ std::vector<double> Evaluator::Pass::GroupNdcg(uint32_t num_groups) {
 }
 
 std::vector<uint32_t> Evaluator::Pass::TopKForUser(uint32_t user) {
-  WorkerScratch& ws = scratch_[0];
-  ScoreUser(user, ws);
-  return eval_.RankTopK(ws.scores, user, eval_.k_);
+  return RankUser(user, eval_.k_, scratch_[0]);
 }
 
 std::vector<double> Evaluator::Pass::ItemExposure() {

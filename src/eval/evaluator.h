@@ -40,6 +40,7 @@
 #include "models/model.h"
 #include "runtime/thread_pool.h"
 #include "serve/model_snapshot.h"
+#include "serve/topk_scorer.h"
 
 namespace bslrec {
 
@@ -55,11 +56,17 @@ class Evaluator {
  public:
   // `data` must outlive the evaluator. The evaluator owns a pool sized
   // from `runtime` (default: one worker per hardware thread).
+  // `scoring` selects the ranking kernel: with `scoring.quantize` every
+  // per-user catalog scan runs through the certified two-phase
+  // quantized path (see topk_scorer.h) — metrics are bit-identical to
+  // the exact scan, only the pass latency changes.
   Evaluator(const Dataset& data, uint32_t k,
-            runtime::RuntimeConfig runtime = {});
+            runtime::RuntimeConfig runtime = {},
+            serve::ScorerOptions scoring = {});
   // Borrows an external pool (e.g. the trainer's) instead of owning
   // one; `pool` must be non-null and outlive the evaluator.
-  Evaluator(const Dataset& data, uint32_t k, runtime::ThreadPool* pool);
+  Evaluator(const Dataset& data, uint32_t k, runtime::ThreadPool* pool,
+            serve::ScorerOptions scoring = {});
 
   uint32_t k() const { return k_; }
 
@@ -95,15 +102,16 @@ class Evaluator {
          std::shared_ptr<const serve::ModelSnapshot> snapshot);
 
     struct WorkerScratch {
-      std::vector<float> scores;  // one score per catalog item
+      std::vector<float> scores;  // one score per catalog item (exact)
+      serve::ShardScratch qscan;  // quantized-path buffers
     };
 
     // Scores all items for `user` into ws.scores.
     void ScoreUser(uint32_t user, WorkerScratch& ws);
-    // Runs fn(test_user_index, user, scores) for every user with test
-    // items, sharded deterministically across the pool.
-    template <typename Fn>
-    void ForEachTestUser(Fn&& fn);
+    // Top-k ids for one user (train positives masked), through the
+    // evaluator's configured scoring path (exact or quantized).
+    std::vector<uint32_t> RankUser(uint32_t user, uint32_t k,
+                                   WorkerScratch& ws);
     // Parallel score+rank of every test user at cutoff k.
     std::vector<std::vector<uint32_t>> ComputeRankings(uint32_t k);
     // Cached ComputeRankings(k()): Evaluate/GroupNdcg/ItemExposure all
@@ -145,6 +153,7 @@ class Evaluator {
 
   const Dataset& data_;
   uint32_t k_;
+  serve::ScorerOptions scoring_;
   std::vector<uint32_t> test_users_;  // users with >= 1 test item
   std::unique_ptr<runtime::ThreadPool> owned_pool_;
   runtime::ThreadPool* pool_;  // owned_pool_.get() or the borrowed pool

@@ -4,6 +4,30 @@
 // (dot products, AXPY updates, normalization) funnel through these free
 // functions so they can be audited and benchmarked in one place. The span
 // arguments are raw pointers + length to keep call sites allocation-free.
+//
+// ---- SIMD dispatch contract ----
+//
+// The hot kernels (`Dot`, `DotI8`, `DotBatchI8`, `QuantizeRow`) have
+// explicitly vectorized implementations selected at compile time (AVX2
+// when the build enables it — see the BSLREC_NATIVE CMake option — and
+// SSE2 on any x86-64 build). The scalar forms are always compiled and
+// exposed under `vec::ref`; every SIMD kernel is contractually
+// *bit-identical* to its reference:
+//
+//   * integer kernels (`DotI8`, `DotBatchI8`) exactly — int32 arithmetic
+//     is associative, so lane layout cannot change the result;
+//   * `QuantizeRow` exactly — the max-abs reduction is order-invariant,
+//     each code is a float multiply (identical IEEE rounding in scalar
+//     and packed form) followed by round-to-nearest-even (the default
+//     rounding mode of both std::nearbyintf and CVTPS2DQ);
+//   * fp32 `Dot` via an *identical summation tree*: the SIMD form keeps
+//     the reference's four double-precision accumulator lanes (lane j
+//     sums elements k+j), combined in the same fixed ((0+1)+(2+3))
+//     order. float*float products are exact in double (24+24 < 53
+//     mantissa bits), so mul+add and fma agree bitwise, too.
+//
+// tests/test_vec.cc enforces all three contracts; SimdTier() reports
+// which tier a binary was compiled with.
 #ifndef BSLREC_MATH_VEC_H_
 #define BSLREC_MATH_VEC_H_
 
@@ -13,8 +37,46 @@
 
 namespace bslrec::vec {
 
+// Compile-time selected SIMD tier of the hot kernels: "avx2", "sse2" or
+// "scalar". Diagnostic only (recorded into BENCH_*.json machine info).
+const char* SimdTier();
+
+// Always-compiled scalar reference forms of the SIMD-dispatched kernels.
+// The public kernels below must match these bit-for-bit (see the header
+// note); benches compare against them to quantify the SIMD win.
+namespace ref {
+float Dot(const float* a, const float* b, size_t n);
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n);
+void DotBatchI8(const int8_t* q, const int8_t* rows, size_t m, size_t d,
+                int32_t* out);
+float QuantizeRow(const float* x, size_t n, int8_t* out);
+}  // namespace ref
+
 // Returns sum_i a[i] * b[i].
 float Dot(const float* a, const float* b, size_t n);
+
+// Integer dot product over int8 codes, accumulated in int32 (exact — no
+// rounding anywhere, so SIMD and scalar agree trivially). Safe from
+// overflow for n < 2^17: each product is at most 127*127 < 2^14, so the
+// int32 accumulator holds at least 2^31 / 2^14 = 2^17 terms.
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n);
+
+// Batch form: out[r] = DotI8(q, rows + r*d, d) for r in [0, m). `rows`
+// is a contiguous m x d int8 block (a quantized item shard). This is
+// the phase-1 scan kernel of the quantized catalog scorer.
+void DotBatchI8(const int8_t* q, const int8_t* rows, size_t m, size_t d,
+                int32_t* out);
+
+// Symmetric int8 quantization of one row: scale = max_i |x[i]| / 127,
+// out[i] = round-to-nearest-even(x[i] / scale). Returns the scale (the
+// dequantization multiplier: x[i] ≈ out[i] * scale, with per-element
+// error |x[i] - out[i]*scale| <= scale * (0.5 + eps)). An all-zero row
+// gets scale 0 and all-zero codes.
+float QuantizeRow(const float* x, size_t n, int8_t* out);
+
+// Returns sum_i |x[i]|, accumulated in double with the same four-lane
+// fixed summation tree as Dot (deterministic, context-independent).
+double L1Norm(const float* x, size_t n);
 
 // y += alpha * x  (the classic AXPY update).
 void Axpy(float alpha, const float* x, float* y, size_t n);

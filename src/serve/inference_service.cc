@@ -35,8 +35,12 @@ InferenceService::InferenceService(const Dataset& data,
       config_(config),
       pool_(std::make_unique<runtime::ThreadPool>(
           config.runtime.num_threads)),
-      snapshot_(model, *pool_),
-      scorer_(snapshot_, *pool_, config.items_per_shard),
+      snapshot_(model, *pool_,
+                SnapshotOptions{.quantize_items = config.quantize}),
+      scorer_(snapshot_, *pool_,
+              ScorerOptions{.items_per_shard = config.items_per_shard,
+                            .quantize = config.quantize,
+                            .candidate_margin = config.candidate_margin}),
       cache_valid_(config.cache_rankings ? data.num_users() : 0,
                    kCacheAbsent),
       cache_(config.cache_rankings ? data.num_users() : 0) {

@@ -51,6 +51,12 @@ struct ServeConfig {
   uint32_t items_per_shard = CatalogScorer::kDefaultItemsPerShard;
   // Disable to score every request from scratch (benchmarks).
   bool cache_rankings = true;
+  // Build an int8 item table at snapshot time and serve through the
+  // certified two-phase quantized scan (see topk_scorer.h). Responses
+  // are bit-identical to the exact scorer; only latency changes.
+  bool quantize = false;
+  // Extra phase-1 candidates per shard beyond each request's k.
+  uint32_t candidate_margin = kDefaultCandidateMargin;
   runtime::RuntimeConfig runtime;
 };
 
@@ -75,6 +81,8 @@ class InferenceService {
 
   const ModelSnapshot& snapshot() const { return snapshot_; }
   const ServeConfig& config() const { return config_; }
+  // Scan statistics (quantized mode: shards scanned / fallbacks).
+  const CatalogScorer& scorer() const { return scorer_; }
 
   TopKResponse Handle(const TopKRequest& request);
   // Answers every request; responses[i] answers requests[i] and is

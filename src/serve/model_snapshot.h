@@ -16,10 +16,20 @@
 // Construction normalizes both tables in parallel over a
 // `runtime::ThreadPool`; rows are independent, so the fill is
 // bit-identical for any worker count.
+//
+// With `SnapshotOptions::quantize_items` the snapshot additionally
+// carries a symmetric int8-quantized copy of the item table (per-item
+// scale, built in the same parallel freeze) plus the per-item scalars
+// the quantized scorer's certification bound needs. The quantized table
+// is an *acceleration structure*, not an approximation of the snapshot:
+// every served score is still computed from the fp32 rows (see
+// topk_scorer.h), so a quantized snapshot answers identically to an
+// unquantized one.
 #ifndef BSLREC_SERVE_MODEL_SNAPSHOT_H_
 #define BSLREC_SERVE_MODEL_SNAPSHOT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "math/matrix.h"
 #include "models/model.h"
@@ -27,11 +37,17 @@
 
 namespace bslrec::serve {
 
+struct SnapshotOptions {
+  // Also build the int8 item table (enables ScorerOptions::quantize).
+  bool quantize_items = false;
+};
+
 class ModelSnapshot {
  public:
   // Copies and normalizes `model`'s final embeddings (the model must
   // have run Forward). `pool` is only used during construction.
-  ModelSnapshot(const EmbeddingModel& model, runtime::ThreadPool& pool);
+  ModelSnapshot(const EmbeddingModel& model, runtime::ThreadPool& pool,
+                SnapshotOptions options = {});
 
   uint32_t num_users() const { return num_users_; }
   uint32_t num_items() const { return num_items_; }
@@ -41,12 +57,26 @@ class ModelSnapshot {
   const float* UserVec(uint32_t u) const { return user_normed_.Row(u); }
   const float* ItemVec(uint32_t i) const { return item_normed_.Row(i); }
 
+  // Quantized item table (present iff built with quantize_items).
+  bool has_quantized_items() const { return !item_scale_.empty(); }
+  // int8 codes of item row i: ItemVec(i)[j] ~= ItemCodes(i)[j]*ItemScale(i).
+  const int8_t* ItemCodes(uint32_t i) const {
+    return item_codes_.data() + static_cast<size_t>(i) * dim_;
+  }
+  float ItemScale(uint32_t i) const { return item_scale_[i]; }
+  // ItemScale(i) * sum_j |ItemCodes(i)[j]| — the per-item factor of the
+  // quantized scorer's error bound, precomputed at freeze time.
+  float ItemScaleL1(uint32_t i) const { return item_scale_l1_[i]; }
+
  private:
   uint32_t num_users_;
   uint32_t num_items_;
   size_t dim_;
   Matrix user_normed_;
   Matrix item_normed_;
+  std::vector<int8_t> item_codes_;     // num_items x dim, row-major
+  std::vector<float> item_scale_;      // per item
+  std::vector<float> item_scale_l1_;   // per item
 };
 
 }  // namespace bslrec::serve

@@ -54,6 +54,139 @@ std::vector<ScoredItem> SelectTopKWithScratch(
                                  scratch.begin() + static_cast<long>(kk));
 }
 
+void SelectTopKInto(const float* scores, uint32_t lo, uint32_t hi, uint32_t k,
+                    std::span<const uint32_t> exclude,
+                    std::vector<ScoredItem>& scratch,
+                    std::vector<ScoredItem>& out) {
+  const size_t kk = SortTopCandidates(scores, lo, hi, k, exclude, scratch);
+  out.assign(scratch.begin(), scratch.begin() + static_cast<long>(kk));
+}
+
+void QuantizedShardTopK(const ModelSnapshot& snapshot,
+                        const QuantizedQuery& query, uint32_t lo, uint32_t hi,
+                        uint32_t k, uint32_t candidate_margin,
+                        std::span<const uint32_t> exclude, ShardScratch& ws,
+                        std::vector<ScoredItem>& out) {
+  const size_t d = snapshot.dim();
+  const uint32_t m = hi - lo;
+  ++ws.shards_scanned;
+
+  // Phase 1: integer scan of the shard's int8 codes.
+  ws.idot.resize(m);
+  vec::DotBatchI8(query.codes, snapshot.ItemCodes(lo), m, d, ws.idot.data());
+
+  // Dequantize into approximate scores for the eligible (non-excluded)
+  // items, tracking the shard-wide certification-bound ingredients.
+  ws.approx.clear();
+  ws.approx.reserve(m);
+  float max_iscale = 0.0f;
+  float max_scale_l1 = 0.0f;
+  auto ex = exclude.begin();
+  for (uint32_t i = lo; i < hi; ++i) {
+    while (ex != exclude.end() && *ex < i) ++ex;
+    if (ex != exclude.end() && *ex == i) continue;
+    const float iscale = snapshot.ItemScale(i);
+    max_iscale = std::max(max_iscale, iscale);
+    max_scale_l1 = std::max(max_scale_l1, snapshot.ItemScaleL1(i));
+    const float approx =
+        static_cast<float>(ws.idot[i - lo]) * (query.scale * iscale);
+    ws.approx.push_back({i, approx});
+  }
+
+  // c = k + margin candidates (saturating).
+  const uint32_t c = k > UINT32_MAX - candidate_margin
+                         ? UINT32_MAX
+                         : k + candidate_margin;
+  if (ws.approx.size() <= c) {
+    // Degenerate shard (not enough items to prune): exact-score every
+    // eligible item — identical to the full fp32 path by construction.
+    for (ScoredItem& e : ws.approx) {
+      e.score = vec::Dot(query.q_hat, snapshot.ItemVec(e.item), d);
+    }
+    const size_t kk = std::min<size_t>(k, ws.approx.size());
+    std::partial_sort(ws.approx.begin(),
+                      ws.approx.begin() + static_cast<long>(kk),
+                      ws.approx.end(), ScoredBefore);
+    out.assign(ws.approx.begin(), ws.approx.begin() + static_cast<long>(kk));
+    return;
+  }
+
+  // Top-c eligible items by approximate score. Every unselected item's
+  // approximate score is <= the c-th candidate's.
+  std::partial_sort(ws.approx.begin(), ws.approx.begin() + c, ws.approx.end(),
+                    ScoredBefore);
+  const float approx_cutoff = ws.approx[c - 1].score;
+
+  // Phase 2: exact fp32 re-score of the candidates — the same vec::Dot
+  // ScoreItemRange uses, so certified results match the exact scan
+  // bitwise.
+  for (uint32_t j = 0; j < c; ++j) {
+    ws.approx[j].score =
+        vec::Dot(query.q_hat, snapshot.ItemVec(ws.approx[j].item), d);
+  }
+  std::partial_sort(ws.approx.begin(), ws.approx.begin() + k,
+                    ws.approx.begin() + c, ScoredBefore);
+  const float kth_exact = ws.approx[k - 1].score;
+
+  // Certification: an unselected item's true score is at most its
+  // approximate score plus the quantization bound
+  //   B = 0.5*(max_iscale*||q^||_1 + q_scale*max(iscale_i*||codes_i||_1))
+  // over eligible shard items. The bound is computed in double and
+  // inflated (x1.001 + 1e-6) to absorb the fp rounding of the bound
+  // arithmetic, of the dequantized approximations, and of the exact
+  // scores themselves — strictly below the k-th exact score means no
+  // unselected item can reach the top-k.
+  const double bound = 0.5 * (static_cast<double>(max_iscale) * query.l1 +
+                              static_cast<double>(query.scale) *
+                                  static_cast<double>(max_scale_l1));
+  const bool certified = static_cast<double>(approx_cutoff) +
+                             bound * 1.001 + 1e-6 <
+                         static_cast<double>(kth_exact);
+  if (certified) {
+    out.assign(ws.approx.begin(), ws.approx.begin() + k);
+    return;
+  }
+
+  // The margin could not separate the top-k boundary (near-tie score
+  // distribution): fall back to the full exact shard scan. Same output
+  // either way — the fallback costs latency, never correctness.
+  ++ws.shards_fallback;
+  ws.scores.resize(m);
+  ScoreItemRange(snapshot, query.q_hat, lo, hi, ws.scores.data());
+  SelectTopKInto(ws.scores.data(), lo, hi, k, exclude, ws.cand, out);
+}
+
+std::vector<ScoredItem> QuantizedCatalogTopK(const ModelSnapshot& snapshot,
+                                             const float* q_hat, uint32_t k,
+                                             std::span<const uint32_t> exclude,
+                                             const ScorerOptions& options,
+                                             ShardScratch& ws) {
+  const size_t d = snapshot.dim();
+  const uint32_t n = snapshot.num_items();
+  ws.q_codes.resize(d);
+  QuantizedQuery query;
+  query.q_hat = q_hat;
+  query.codes = ws.q_codes.data();
+  query.scale = vec::QuantizeRow(q_hat, d, ws.q_codes.data());
+  query.l1 = vec::L1Norm(q_hat, d);
+
+  // Per-shard certified top-k, accumulated and reduced exactly like
+  // MergeTopK (concatenate, then one partial_sort under the strict
+  // total order), so the result is independent of the shard grain.
+  ws.merge.clear();
+  for (uint32_t lo = 0; lo < n; lo += options.items_per_shard) {
+    const uint32_t hi = std::min<uint32_t>(n, lo + options.items_per_shard);
+    QuantizedShardTopK(snapshot, query, lo, hi, k, options.candidate_margin,
+                       exclude, ws, ws.shard_out);
+    ws.merge.insert(ws.merge.end(), ws.shard_out.begin(), ws.shard_out.end());
+  }
+  const size_t kk = std::min<size_t>(k, ws.merge.size());
+  std::partial_sort(ws.merge.begin(), ws.merge.begin() + static_cast<long>(kk),
+                    ws.merge.end(), ScoredBefore);
+  return std::vector<ScoredItem>(ws.merge.begin(),
+                                 ws.merge.begin() + static_cast<long>(kk));
+}
+
 std::vector<ScoredItem> MergeTopK(
     std::span<const std::vector<ScoredItem>> shard_tops, uint32_t k) {
   size_t total = 0;
@@ -72,8 +205,29 @@ std::vector<ScoredItem> MergeTopK(
 CatalogScorer::CatalogScorer(const ModelSnapshot& snapshot,
                              runtime::ThreadPool& pool,
                              uint32_t items_per_shard)
-    : snapshot_(snapshot), pool_(pool), items_per_shard_(items_per_shard) {
-  BSLREC_CHECK(items_per_shard > 0);
+    : CatalogScorer(snapshot, pool,
+                    ScorerOptions{.items_per_shard = items_per_shard}) {}
+
+CatalogScorer::CatalogScorer(const ModelSnapshot& snapshot,
+                             runtime::ThreadPool& pool,
+                             const ScorerOptions& options)
+    : snapshot_(snapshot),
+      pool_(pool),
+      options_(options),
+      scratch_(pool.num_workers()) {
+  BSLREC_CHECK(options.items_per_shard > 0);
+  BSLREC_CHECK_MSG(!options.quantize || snapshot.has_quantized_items(),
+                   "ScorerOptions::quantize requires a snapshot built with "
+                   "SnapshotOptions::quantize_items");
+}
+
+CatalogScorer::Stats CatalogScorer::stats() const {
+  Stats s;
+  for (const ShardScratch& ws : scratch_) {
+    s.shards_scanned += ws.shards_scanned;
+    s.shards_fallback += ws.shards_fallback;
+  }
+  return s;
 }
 
 std::vector<ScoredItem> CatalogScorer::TopK(const ScoreQuery& query) const {
@@ -83,39 +237,66 @@ std::vector<ScoredItem> CatalogScorer::TopK(const ScoreQuery& query) const {
 std::vector<std::vector<ScoredItem>> CatalogScorer::BatchTopK(
     std::span<const ScoreQuery> queries) const {
   const uint32_t n = snapshot_.num_items();
+  const uint32_t items_per_shard = options_.items_per_shard;
   const size_t num_shards =
-      (static_cast<size_t>(n) + items_per_shard_ - 1) / items_per_shard_;
+      (static_cast<size_t>(n) + items_per_shard - 1) / items_per_shard;
   std::vector<std::vector<ScoredItem>> out(queries.size());
   if (queries.empty() || num_shards == 0) return out;
 
+  const size_t d = snapshot_.dim();
+  if (options_.quantize) {
+    // Quantize every query once up front (rows are independent, so the
+    // parallel fill is deterministic); the task grid below reads them.
+    q_codes_.resize(queries.size() * d);
+    q_scale_.resize(queries.size());
+    q_l1_.resize(queries.size());
+    runtime::ParallelFor(
+        pool_, 0, queries.size(), 8,
+        [&](size_t lo, size_t hi, size_t /*shard*/, size_t /*worker*/) {
+          for (size_t qi = lo; qi < hi; ++qi) {
+            q_scale_[qi] =
+                vec::QuantizeRow(queries[qi].q_hat, d, &q_codes_[qi * d]);
+            q_l1_[qi] = vec::L1Norm(queries[qi].q_hat, d);
+          }
+        });
+  }
+
   // Flat (query, item-shard) task grid with one per-shard output slot
-  // per task and shard-sized score/candidate buffers per worker. Each
-  // slot is written by exactly one task, so no synchronization is
-  // needed and the serial per-query merge below is deterministic.
-  std::vector<std::vector<ScoredItem>> shard_tops(queries.size() *
-                                                  num_shards);
-  std::vector<std::vector<float>> scores(pool_.num_workers());
-  std::vector<std::vector<ScoredItem>> cand(pool_.num_workers());
+  // per task and shard-sized buffers per worker (hoisted into scorer
+  // scratch — steady-state scanning allocates nothing). Each slot is
+  // written by exactly one task, so no synchronization is needed and
+  // the serial per-query merge below is deterministic.
+  shard_tops_.resize(queries.size() * num_shards);
   runtime::ParallelFor(
-      pool_, 0, shard_tops.size(), 1,
+      pool_, 0, shard_tops_.size(), 1,
       [&](size_t lo, size_t hi, size_t /*shard*/, size_t worker) {
-        std::vector<float>& buf = scores[worker];
-        buf.resize(items_per_shard_);
+        ShardScratch& ws = scratch_[worker];
         for (size_t t = lo; t < hi; ++t) {
-          const ScoreQuery& q = queries[t / num_shards];
-          const uint32_t item_lo = static_cast<uint32_t>(
-              (t % num_shards) * items_per_shard_);
+          const size_t qi = t / num_shards;
+          const ScoreQuery& q = queries[qi];
+          const uint32_t item_lo =
+              static_cast<uint32_t>((t % num_shards) * items_per_shard);
           const uint32_t item_hi =
-              std::min<uint32_t>(n, item_lo + items_per_shard_);
-          ScoreItemRange(snapshot_, q.q_hat, item_lo, item_hi, buf.data());
-          shard_tops[t] = SelectTopKWithScratch(
-              buf.data(), item_lo, item_hi, q.k, q.exclude, cand[worker]);
+              std::min<uint32_t>(n, item_lo + items_per_shard);
+          if (options_.quantize) {
+            const QuantizedQuery qq{q.q_hat, q_codes_.data() + qi * d,
+                                    q_scale_[qi], q_l1_[qi]};
+            QuantizedShardTopK(snapshot_, qq, item_lo, item_hi, q.k,
+                               options_.candidate_margin, q.exclude, ws,
+                               shard_tops_[t]);
+          } else {
+            ws.scores.resize(items_per_shard);
+            ScoreItemRange(snapshot_, q.q_hat, item_lo, item_hi,
+                           ws.scores.data());
+            SelectTopKInto(ws.scores.data(), item_lo, item_hi, q.k, q.exclude,
+                           ws.cand, shard_tops_[t]);
+          }
         }
       });
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     out[qi] = MergeTopK(
         std::span<const std::vector<ScoredItem>>(
-            shard_tops.data() + qi * num_shards, num_shards),
+            shard_tops_.data() + qi * num_shards, num_shards),
         queries[qi].k);
   }
   return out;

@@ -23,6 +23,41 @@
 // is exactly the first k entries of any top-k' list with k' >= k. The
 // inference service's cutoff-prefix reuse and the evaluator's cached
 // rankings both lean on this.
+//
+// ---- Quantized two-phase scan (ScorerOptions::quantize) ----
+//
+// With a quantized snapshot, each (query, shard) task replaces the fp32
+// scan with a certified two-phase pass:
+//
+//   Phase 1  scans the shard's int8 item codes with vec::DotBatchI8 and
+//            dequantizes each integer dot into an approximate score
+//            s~_i = idot * (q_scale * item_scale_i)  (~4x less memory
+//            traffic than the fp32 scan), then picks the top
+//            c = k + candidate_margin eligible items by approximate
+//            score.
+//   Phase 2  re-scores exactly those c candidates with the *same* fp32
+//            vec::Dot the exact scorer uses, and takes their top-k.
+//
+// Certification argument (why the result is bit-identical, not merely
+// close): symmetric quantization bounds each true score by
+//   |s_i - s~_i| <= 0.5*(item_scale_i*||q^||_1
+//                        + q_scale*item_scale_i*||codes_i||_1)
+// (each factor is one round-to-nearest of at most half a quantization
+// step, weighted by the other vector's magnitude). The scan tracks the
+// shard-wide maximum B of this bound over eligible items. Every
+// unselected item has approximate score <= the c-th candidate's, so its
+// true score is < cutoff~ + B (inflated by a small factor to absorb
+// fp rounding in the bound arithmetic itself). If cutoff~ + B is
+// strictly below the k-th candidate's *exact* score, no unselected item
+// can enter the top-k, and the candidates' exact top-k IS the shard's
+// exact top-k — same fp32 score values, same (score desc, id asc)
+// order, bitwise. When the margin cannot certify the boundary (near-tie
+// score distributions), the task falls back to the full fp32 shard
+// scan, which is exact by definition. Both paths emit the identical
+// shard top-k, so the fallback rate — and therefore the quantized mode
+// itself — can never change a served ranking, only its latency. All
+// existing contracts (any thread count, any shard grain, batch ==
+// single, evaluator == service) carry over unchanged.
 #ifndef BSLREC_SERVE_TOPK_SCORER_H_
 #define BSLREC_SERVE_TOPK_SCORER_H_
 
@@ -69,6 +104,13 @@ std::vector<ScoredItem> SelectTopKWithScratch(
     const float* scores, uint32_t lo, uint32_t hi, uint32_t k,
     std::span<const uint32_t> exclude, std::vector<ScoredItem>& scratch);
 
+// Fully allocation-free form: the result lands in `out` (cleared on
+// entry, capacity reused) instead of a fresh vector.
+void SelectTopKInto(const float* scores, uint32_t lo, uint32_t hi, uint32_t k,
+                    std::span<const uint32_t> exclude,
+                    std::vector<ScoredItem>& scratch,
+                    std::vector<ScoredItem>& out);
+
 // Serial reduction of per-shard top-k candidate lists into the global
 // top-k. The result is the unique ScoredBefore-minimal k-set, so it is
 // independent of how candidates were partitioned into shards.
@@ -82,15 +124,85 @@ struct ScoreQuery {
   std::span<const uint32_t> exclude;  // sorted ascending ids to skip
 };
 
+// Extra phase-1 candidates per shard beyond k. Larger margins certify
+// more shards (fewer exact fallbacks) at the cost of more phase-2 fp32
+// re-scores; the result never changes either way.
+inline constexpr uint32_t kDefaultCandidateMargin = 64;
+
+struct ScorerOptions {
+  // Catalog items per scoring shard (per-worker buffer size).
+  uint32_t items_per_shard = 2048;
+  // Use the snapshot's int8 table for phase 1 (the snapshot must have
+  // been built with SnapshotOptions::quantize_items).
+  bool quantize = false;
+  uint32_t candidate_margin = kDefaultCandidateMargin;
+};
+
+// Reusable per-worker buffers for one shard-scan task stream; also
+// accumulates the owner's scan statistics. All buffers keep their
+// capacity across calls, so steady-state scanning allocates nothing.
+struct ShardScratch {
+  std::vector<float> scores;       // one fp32 score per shard item
+  std::vector<int32_t> idot;       // one integer dot per shard item
+  std::vector<ScoredItem> approx;  // eligible items by approximate score
+  std::vector<ScoredItem> cand;    // SelectTopK candidate scratch
+  std::vector<ScoredItem> merge;   // serial whole-catalog accumulation
+  std::vector<ScoredItem> shard_out;
+  std::vector<int8_t> q_codes;     // serial-path query quantization
+  uint64_t shards_scanned = 0;     // quantized shard tasks executed
+  uint64_t shards_fallback = 0;    // ... that failed certification
+};
+
+// A query prepared for the quantized scan: the fp32 unit vector plus
+// its int8 codes, quantization scale, and fp32 L1 norm.
+struct QuantizedQuery {
+  const float* q_hat;
+  const int8_t* codes;
+  float scale;
+  double l1;
+};
+
+// One certified (query, shard) task: writes the *exact* top-k of items
+// [lo, hi) under ScoredBefore into `out` — bit-identical to
+// ScoreItemRange + SelectTopK over the same range — using the two-phase
+// quantized scan described in the header note.
+void QuantizedShardTopK(const ModelSnapshot& snapshot,
+                        const QuantizedQuery& query, uint32_t lo, uint32_t hi,
+                        uint32_t k, uint32_t candidate_margin,
+                        std::span<const uint32_t> exclude, ShardScratch& ws,
+                        std::vector<ScoredItem>& out);
+
+// Serial whole-catalog form (quantizes the query itself): the exact
+// top-k over every item, bit-identical to an exact full scan. This is
+// the evaluator's per-user kernel — its user loop is already parallel,
+// so each user's catalog scan stays on one worker.
+std::vector<ScoredItem> QuantizedCatalogTopK(const ModelSnapshot& snapshot,
+                                             const float* q_hat, uint32_t k,
+                                             std::span<const uint32_t> exclude,
+                                             const ScorerOptions& options,
+                                             ShardScratch& ws);
+
 class CatalogScorer {
  public:
   // Items per scoring shard; the per-worker score buffer is this big.
   static constexpr uint32_t kDefaultItemsPerShard = 2048;
 
+  // Cumulative quantized-scan counters (zero when quantize is off).
+  struct Stats {
+    uint64_t shards_scanned = 0;
+    uint64_t shards_fallback = 0;
+  };
+
   // `snapshot` and `pool` must outlive the scorer. The pool is driven
-  // from the calling thread — one TopK/BatchTopK at a time.
+  // from the calling thread — one TopK/BatchTopK at a time (they are
+  // const but share mutable per-worker scratch).
   CatalogScorer(const ModelSnapshot& snapshot, runtime::ThreadPool& pool,
                 uint32_t items_per_shard = kDefaultItemsPerShard);
+  CatalogScorer(const ModelSnapshot& snapshot, runtime::ThreadPool& pool,
+                const ScorerOptions& options);
+
+  const ScorerOptions& options() const { return options_; }
+  Stats stats() const;
 
   // Full-catalog top-k for one query.
   std::vector<ScoredItem> TopK(const ScoreQuery& query) const;
@@ -104,7 +216,17 @@ class CatalogScorer {
  private:
   const ModelSnapshot& snapshot_;
   runtime::ThreadPool& pool_;
-  uint32_t items_per_shard_;
+  ScorerOptions options_;
+  // Per-worker buffers and per-call structures, hoisted out of
+  // BatchTopK so steady-state scanning performs no allocation (slots
+  // and scratch keep their capacity across calls). Mutable because
+  // scoring is logically const; guarded by the one-call-at-a-time
+  // contract above.
+  mutable std::vector<ShardScratch> scratch_;        // one per worker
+  mutable std::vector<std::vector<ScoredItem>> shard_tops_;
+  mutable std::vector<int8_t> q_codes_;              // per-call queries
+  mutable std::vector<float> q_scale_;
+  mutable std::vector<double> q_l1_;
 };
 
 }  // namespace bslrec::serve

@@ -305,5 +305,227 @@ TEST(InferenceService, EmptyBatchIsANoOp) {
   EXPECT_TRUE(service.HandleBatch({}).empty());
 }
 
+// ---- Quantized two-phase scan (see topk_scorer.h) ----
+
+ServeConfig QuantConfig(size_t threads, uint32_t items_per_shard = 16,
+                        uint32_t margin = serve::kDefaultCandidateMargin) {
+  ServeConfig cfg = Config(threads, items_per_shard);
+  cfg.quantize = true;
+  cfg.candidate_margin = margin;
+  return cfg;
+}
+
+TEST(QuantizedSnapshot, Int8TableRoundTripsWithinHalfAStep) {
+  const Dataset d = MediumDataset();
+  Rng rng(30);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  model.Forward(rng);
+  runtime::ThreadPool pool(2);
+  const ModelSnapshot snap(model, pool,
+                           serve::SnapshotOptions{.quantize_items = true});
+  ASSERT_TRUE(snap.has_quantized_items());
+  for (uint32_t i = 0; i < snap.num_items(); ++i) {
+    const float scale = snap.ItemScale(i);
+    const int8_t* codes = snap.ItemCodes(i);
+    double l1 = 0.0;
+    for (size_t j = 0; j < snap.dim(); ++j) {
+      const double err =
+          std::fabs(static_cast<double>(snap.ItemVec(i)[j]) -
+                    static_cast<double>(codes[j]) * static_cast<double>(scale));
+      EXPECT_LE(err, 0.5001 * scale + 1e-12) << "item " << i << " dim " << j;
+      l1 += std::abs(static_cast<int>(codes[j]));
+    }
+    EXPECT_FLOAT_EQ(snap.ItemScaleL1(i),
+                    scale * static_cast<float>(l1));
+  }
+}
+
+TEST(QuantizedSnapshot, TableIsBitIdenticalForAnyWorkerCount) {
+  const Dataset d = MediumDataset();
+  Rng rng(31);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  model.Forward(rng);
+  runtime::ThreadPool pool1(1);
+  const ModelSnapshot base(model, pool1,
+                           serve::SnapshotOptions{.quantize_items = true});
+  for (const size_t threads : {2u, 8u}) {
+    runtime::ThreadPool pool(threads);
+    const ModelSnapshot snap(model, pool,
+                             serve::SnapshotOptions{.quantize_items = true});
+    for (uint32_t i = 0; i < base.num_items(); ++i) {
+      EXPECT_EQ(snap.ItemScale(i), base.ItemScale(i)) << "item " << i;
+      for (size_t j = 0; j < base.dim(); ++j) {
+        EXPECT_EQ(snap.ItemCodes(i)[j], base.ItemCodes(i)[j])
+            << "item " << i << " dim " << j;
+      }
+    }
+  }
+}
+
+TEST(QuantizedScorer, BitIdenticalToExactAcrossShardGrainsAndMargins) {
+  const Dataset d = MediumDataset();
+  Rng rng(32);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  model.Forward(rng);
+  runtime::ThreadPool pool(2);
+  const ModelSnapshot snap(model, pool,
+                           serve::SnapshotOptions{.quantize_items = true});
+  const std::vector<uint32_t> exclude = d.TestUsers();  // arbitrary ids
+  const serve::ScoreQuery query{snap.UserVec(7), 12, exclude};
+  const CatalogScorer reference(snap, pool, d.num_items() + 1);
+  const std::vector<ScoredItem> want = reference.TopK(query);
+  ASSERT_EQ(want.size(), 12u);
+  for (const uint32_t shard : {1u, 7u, 16u, 64u, 128u}) {
+    // Margin 0 maximizes fallback pressure; large margins maximize the
+    // degenerate exact-score-all path. Same answer everywhere.
+    for (const uint32_t margin : {0u, 2u, 64u, 1000u}) {
+      const CatalogScorer scorer(
+          snap, pool,
+          serve::ScorerOptions{.items_per_shard = shard,
+                               .quantize = true,
+                               .candidate_margin = margin});
+      const std::vector<ScoredItem> got = scorer.TopK(query);
+      ASSERT_EQ(got.size(), want.size())
+          << "shard " << shard << " margin " << margin;
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].item, want[i].item)
+            << "shard " << shard << " margin " << margin << " rank " << i;
+        EXPECT_EQ(got[i].score, want[i].score)
+            << "shard " << shard << " margin " << margin << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(QuantizedService, BitIdenticalToExactServiceAcrossThreadCounts) {
+  const Dataset d = MediumDataset();
+  Rng rng(33);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  model.Forward(rng);
+  std::vector<TopKRequest> reqs;
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    reqs.push_back(Req(u, 1 + u % 19));
+  }
+  InferenceService exact(d, model, Config(1));
+  const std::vector<TopKResponse> want = exact.HandleBatch(reqs);
+  for (const size_t threads : {1u, 2u, 8u}) {
+    InferenceService service(d, model, QuantConfig(threads));
+    const std::vector<TopKResponse> got = service.HandleBatch(reqs);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t r = 0; r < want.size(); ++r) {
+      ExpectSameResponse(got[r], want[r],
+                         "quantized " + std::to_string(threads) +
+                             " threads, request " + std::to_string(r));
+    }
+  }
+}
+
+TEST(QuantizedService, BatchedMatchesSingleAndHonorsFilters) {
+  const Dataset d = MediumDataset();
+  Rng rng(34);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  model.Forward(rng);
+  const std::vector<uint32_t> extra = {3, 40, 41};
+  std::vector<TopKRequest> reqs;
+  reqs.push_back(Req(5, 10));
+  reqs.push_back(Req(9, 4));
+  reqs.push_back(Req(12, 8, false));        // unfiltered
+  reqs.push_back(Req(17, 6, true, extra));  // extra seen ids
+  reqs.push_back(Req(5, 10));               // repeat
+  InferenceService batched(d, model, QuantConfig(2));
+  InferenceService single(d, model, QuantConfig(2));
+  const std::vector<TopKResponse> got = batched.HandleBatch(reqs);
+  ASSERT_EQ(got.size(), reqs.size());
+  for (size_t r = 0; r < reqs.size(); ++r) {
+    ExpectSameResponse(got[r], single.Handle(reqs[r]),
+                       "quantized request " + std::to_string(r));
+  }
+}
+
+// Near-tie score distributions are the quantized scan's worst case: the
+// candidate margin cannot certify a boundary running through a tie
+// plateau, so shards must fall back to the exact scan — and the result
+// must still be bit-identical.
+TEST(QuantizedService, AdversarialNearTiesFallBackAndStayExact) {
+  const Dataset d = MediumDataset();
+  Rng rng(35);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  // Collapse the item table onto 4 distinct rows: massive exact-score
+  // ties everywhere, every top-k boundary sits inside a plateau.
+  for (ParamGrad& pg : model.Params()) {
+    Matrix& m = *pg.value;
+    for (size_t r = 0; r < m.rows(); ++r) {
+      for (size_t c = 0; c < m.cols(); ++c) {
+        m.Row(r)[c] = 0.25f + 0.5f * static_cast<float>((r % 4 == c % 4));
+      }
+    }
+  }
+  model.Forward(rng);
+  std::vector<TopKRequest> reqs;
+  for (uint32_t u = 0; u < d.num_users(); ++u) reqs.push_back(Req(u, 5));
+  // Shards wider than max_k + margin, so the scan must actually try to
+  // certify a boundary (narrow shards take the exact-score-all path).
+  InferenceService exact(d, model, Config(2, 64));
+  const std::vector<TopKResponse> want = exact.HandleBatch(reqs);
+  for (const uint32_t margin : {0u, 2u}) {
+    InferenceService service(d, model, QuantConfig(2, 64, margin));
+    const std::vector<TopKResponse> got = service.HandleBatch(reqs);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t r = 0; r < want.size(); ++r) {
+      ExpectSameResponse(got[r], want[r],
+                         "near-tie margin " + std::to_string(margin) +
+                             " request " + std::to_string(r));
+    }
+    // The tie plateaus must actually have exercised the fallback path.
+    const CatalogScorer::Stats st = service.scorer().stats();
+    EXPECT_GT(st.shards_scanned, 0u) << "margin " << margin;
+    EXPECT_GT(st.shards_fallback, 0u) << "margin " << margin;
+  }
+}
+
+TEST(QuantizedService, CacheAndPrefixReuseStillHold) {
+  const Dataset d = MediumDataset();
+  Rng rng(36);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  model.Forward(rng);
+  InferenceService warm(d, model, QuantConfig(2));
+  const TopKResponse deep = warm.Handle(Req(4, 20));
+  ASSERT_EQ(deep.items.size(), 20u);
+  for (const uint32_t k : {1u, 3u, 12u}) {
+    const TopKResponse prefix = warm.Handle(Req(4, k));
+    ASSERT_EQ(prefix.items.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(prefix.items[i], deep.items[i]) << "k " << k;
+      EXPECT_EQ(prefix.scores[i], deep.scores[i]) << "k " << k;
+    }
+  }
+}
+
+TEST(QuantizedEvaluator, MetricsAndRankingsMatchExactEvaluator) {
+  const Dataset d = MediumDataset();
+  Rng rng(37);
+  MfModel model(d.num_users(), d.num_items(), 8, rng);
+  model.Forward(rng);
+  const Evaluator exact(d, 10, runtime::RuntimeConfig{2});
+  const Evaluator quant(d, 10, runtime::RuntimeConfig{2},
+                        serve::ScorerOptions{.items_per_shard = 16,
+                                             .quantize = true});
+  const TopKMetrics want = exact.Evaluate(model);
+  const TopKMetrics got = quant.Evaluate(model);
+  // Bit-identical metrics, not approximately equal: the quantized pass
+  // re-scores candidates with the same fp32 kernel.
+  EXPECT_EQ(got.recall, want.recall);
+  EXPECT_EQ(got.ndcg, want.ndcg);
+  EXPECT_EQ(got.precision, want.precision);
+  EXPECT_EQ(got.hit_rate, want.hit_rate);
+  EXPECT_EQ(got.num_users, want.num_users);
+  Evaluator::Pass exact_pass = exact.BeginPass(model);
+  Evaluator::Pass quant_pass = quant.BeginPass(model);
+  for (uint32_t u = 0; u < d.num_users(); ++u) {
+    EXPECT_EQ(quant_pass.TopKForUser(u), exact_pass.TopKForUser(u))
+        << "user " << u;
+  }
+}
+
 }  // namespace
 }  // namespace bslrec

@@ -52,6 +52,8 @@ struct Options {
   uint32_t shard_items = serve::CatalogScorer::kDefaultItemsPerShard;
   size_t batch = 32;          // requests handled per HandleBatch call
   bool no_cache = false;
+  bool quantize = false;      // int8 two-phase catalog scan
+  uint32_t margin = serve::kDefaultCandidateMargin;
   uint64_t seed = 42;
   size_t threads = 0;  // 0 = hardware concurrency, 1 = serial
 };
@@ -65,6 +67,7 @@ void Usage() {
       "                    [--dim=N] [--layers=N] [--load=CKPT]\n"
       "                    [--requests=FILE] [--k=N] [--max-k=N]\n"
       "                    [--batch=N] [--shard-items=N] [--no-cache]\n"
+      "                    [--quantize] [--margin=N]\n"
       "                    [--threads=N] [--seed=N]\n"
       "\n"
       "Serves top-k recommendations from a frozen model snapshot.\n"
@@ -81,6 +84,15 @@ void Usage() {
       "               smaller cutoffs served as prefixes\n"
       "--shard-items: catalog items per scoring shard (per-worker\n"
       "               score-buffer size)\n"
+      "--quantize:    scan the catalog through an int8-quantized item\n"
+      "               table, then exact-re-rank the survivors in fp32\n"
+      "               (certified two-phase scan). Responses are\n"
+      "               bit-identical to the exact scorer — this flag\n"
+      "               trades memory traffic for a wider per-shard\n"
+      "               candidate pass, it never changes a ranking\n"
+      "--margin:      extra phase-1 candidates per shard beyond k\n"
+      "               (quantized mode; larger = fewer exact-rescan\n"
+      "               fallbacks on near-tie score distributions)\n"
       "--threads:     worker count (0 = one per hardware thread,\n"
       "               1 = serial). Results are bit-identical for any\n"
       "               value.\n");
@@ -127,6 +139,10 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
       opts.batch = static_cast<size_t>(as_int());
     } else if (key == "no-cache") {
       opts.no_cache = true;
+    } else if (key == "quantize") {
+      opts.quantize = true;
+    } else if (key == "margin") {
+      opts.margin = static_cast<uint32_t>(as_int());
     } else if (key == "seed") {
       opts.seed = static_cast<uint64_t>(as_int());
     } else if (key == "threads") {
@@ -230,11 +246,14 @@ int main(int argc, char** argv) {
   cfg.max_k = opts.max_k;
   cfg.items_per_shard = opts.shard_items;
   cfg.cache_rankings = !opts.no_cache;
+  cfg.quantize = opts.quantize;
+  cfg.candidate_margin = opts.margin;
   cfg.runtime.num_threads = opts.threads;
   serve::InferenceService service(*data, *model, cfg);
-  std::fprintf(stderr, "snapshot ready (%u users x %u items, dim %zu)\n",
+  std::fprintf(stderr, "snapshot ready (%u users x %u items, dim %zu%s)\n",
                service.snapshot().num_users(), service.snapshot().num_items(),
-               service.snapshot().dim());
+               service.snapshot().dim(),
+               opts.quantize ? ", int8 catalog table" : "");
 
   std::ifstream req_file;
   if (!opts.requests_file.empty()) {
@@ -283,5 +302,12 @@ int main(int argc, char** argv) {
                total_secs > 0.0 ? static_cast<double>(served) / total_secs
                                 : 0.0,
                malformed);
+  if (opts.quantize) {
+    const serve::CatalogScorer::Stats st = service.scorer().stats();
+    std::fprintf(stderr,
+                 "quantized scan: %llu shard tasks, %llu exact fallbacks\n",
+                 static_cast<unsigned long long>(st.shards_scanned),
+                 static_cast<unsigned long long>(st.shards_fallback));
+  }
   return malformed == 0 ? 0 : 1;
 }
