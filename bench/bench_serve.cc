@@ -6,6 +6,16 @@
 // exact 1-thread baseline for every mode and worker count. Emits
 // machine-readable BENCH_serve.json into the working directory.
 //
+// A second, closed-loop tier drives the concurrent front door
+// (serve::ServingFrontEnd): N producer threads each keep exactly one
+// request outstanding (submit, wait, repeat), so the adaptive
+// micro-batcher — not a pre-packed batch — decides the batching.
+// Reports per-request p50/p99 and aggregate req/s at several producer
+// counts, plus a sustained train-and-serve scenario where snapshots
+// are hot-swapped mid-traffic. Every front-door response is probed
+// bit-identical to the synchronous path against the snapshot that
+// served it; the probe gates the exit code alongside the quantized one.
+//
 // The ranking cache is disabled so every request pays full catalog
 // scoring — the numbers measure the scorer, not the cache.
 //
@@ -21,6 +31,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_util.h"
@@ -28,6 +41,8 @@
 #include "models/mf.h"
 #include "runtime/thread_pool.h"
 #include "serve/inference_service.h"
+#include "serve/ranking_engine.h"
+#include "serve/serving_frontend.h"
 
 namespace {
 
@@ -80,6 +95,78 @@ serve::ServeConfig MakeConfig(uint32_t k, size_t threads, bool quantize) {
   sc.quantize = quantize;
   sc.runtime.num_threads = threads;
   return sc;
+}
+
+// ---- closed-loop front-door load generator ----
+
+struct FrontEndPoint {
+  size_t producers;
+  double p50_ms;
+  double p99_ms;
+  double requests_per_sec;
+  uint64_t size_flushes;
+  uint64_t deadline_flushes;
+};
+
+struct ClosedLoopResult {
+  std::vector<std::vector<serve::ServedResponse>> responses;  // per producer
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double requests_per_sec = 0.0;
+};
+
+// N producers, each with its own deterministic request stream, each
+// keeping one request in flight (submit, wait, repeat). Returns every
+// response so the caller can probe bit-identity.
+ClosedLoopResult RunClosedLoop(
+    serve::ServingFrontEnd& frontend,
+    const std::vector<std::vector<serve::TopKRequest>>& streams) {
+  const size_t producers = streams.size();
+  ClosedLoopResult result;
+  result.responses.resize(producers);
+  std::vector<std::vector<double>> latencies(producers);
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      result.responses[p].reserve(streams[p].size());
+      latencies[p].reserve(streams[p].size());
+      for (const serve::TopKRequest& req : streams[p]) {
+        const auto s = std::chrono::steady_clock::now();
+        result.responses[p].push_back(frontend.HandleSync(req));
+        latencies[p].push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          s)
+                .count() *
+            1000.0);
+      }
+    });
+  }
+  size_t total_requests = 0;
+  for (size_t p = 0; p < producers; ++p) {
+    threads[p].join();
+    total_requests += streams[p].size();
+  }
+  const double total_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::vector<double> all;
+  for (const std::vector<double>& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.p50_ms = Percentile(all, 0.50);
+  result.p99_ms = Percentile(all, 0.99);
+  result.requests_per_sec =
+      total_secs > 0.0 ? static_cast<double>(total_requests) / total_secs
+                       : 0.0;
+  return result;
+}
+
+bool SameResponse(const serve::TopKResponse& got,
+                  const serve::TopKResponse& want) {
+  return got.items == want.items && got.scores == want.scores;
 }
 
 }  // namespace
@@ -219,6 +306,152 @@ int main() {
               static_cast<unsigned long long>(quant_stats.shards_scanned),
               static_cast<unsigned long long>(quant_stats.shards_fallback));
 
+  // ---- concurrent front door: closed-loop load at N producers ----
+  // Every response is compared bit-for-bit against the synchronous
+  // path (InferenceService::Handle on the same model) — queueing and
+  // micro-batching must move latency, never results.
+  serve::FrontEndConfig fe_cfg;
+  fe_cfg.max_batch = 16;
+  fe_cfg.flush_deadline_us = 200;
+  fe_cfg.serve = MakeConfig(k, 0, false);  // hw threads, exact scan
+  const std::vector<size_t> producer_counts =
+      fast ? std::vector<size_t>{1, 2, 4} : std::vector<size_t>{1, 2, 4, 8};
+  const size_t reqs_per_producer = scale ? 40 : (fast ? 30 : 120);
+
+  bool frontdoor_identical = true;
+  std::vector<FrontEndPoint> fe_points;
+  {
+    serve::InferenceService sync_baseline(data, model,
+                                          MakeConfig(k, 1, false));
+    std::printf("front door: max_batch=%zu flush_deadline_us=%u "
+                "(closed loop, %zu reqs/producer)\n",
+                fe_cfg.max_batch, fe_cfg.flush_deadline_us,
+                reqs_per_producer);
+    for (size_t producers : producer_counts) {
+      std::vector<std::vector<serve::TopKRequest>> streams(producers);
+      for (size_t p = 0; p < producers; ++p) {
+        streams[p] = MakeRequests(reqs_per_producer, data.num_users(), k,
+                                  1000 + 17 * p);
+      }
+      serve::ServingFrontEnd frontend(data, model, fe_cfg);
+      const ClosedLoopResult run = RunClosedLoop(frontend, streams);
+      const serve::FrontEndStats st = frontend.stats();
+      // Probe: bit-identity per request vs the synchronous path (one
+      // sync response per distinct user at this fixed k).
+      std::unordered_map<uint32_t, serve::TopKResponse> want;
+      for (size_t p = 0; p < producers; ++p) {
+        for (size_t r = 0; r < streams[p].size(); ++r) {
+          const serve::TopKRequest& req = streams[p][r];
+          auto it = want.find(req.user);
+          if (it == want.end()) {
+            it = want.emplace(req.user, sync_baseline.Handle(req)).first;
+          }
+          const serve::ServedResponse& got = run.responses[p][r];
+          frontdoor_identical = frontdoor_identical &&
+                                SameResponse(got.topk, it->second) &&
+                                got.snapshot_seq == 1;
+        }
+      }
+      FrontEndPoint fp;
+      fp.producers = producers;
+      fp.p50_ms = run.p50_ms;
+      fp.p99_ms = run.p99_ms;
+      fp.requests_per_sec = run.requests_per_sec;
+      fp.size_flushes = st.size_flushes;
+      fp.deadline_flushes = st.deadline_flushes;
+      fe_points.push_back(fp);
+      std::printf(
+          "frontdoor producers=%zu  p50 %.3f ms  p99 %.3f ms  %.0f req/s  "
+          "(%llu size / %llu deadline flushes)\n",
+          producers, fp.p50_ms, fp.p99_ms, fp.requests_per_sec,
+          static_cast<unsigned long long>(fp.size_flushes),
+          static_cast<unsigned long long>(fp.deadline_flushes));
+    }
+  }
+  std::printf("front door bit-identical to synchronous path: %s\n",
+              frontdoor_identical ? "yes" : "NO — BUG");
+
+  // ---- sustained train-and-serve: snapshot hot-swap mid-traffic ----
+  // A publisher thread pushes freshly frozen snapshots while producers
+  // keep the front door under load. Every response must match the
+  // synchronous ranking on exactly the snapshot that served it.
+  const size_t ts_producers = fast ? 2 : 4;
+  const size_t ts_generations = 3;  // initial + 2 hot-swaps
+  bool trainserve_matched = true;
+  double trainserve_rps = 0.0;
+  size_t trainserve_requests = 0;
+  {
+    // Freeze each generation from a differently-seeded model — stands
+    // in for "the trainer stepped, then froze" without paying training
+    // time in a serving bench.
+    runtime::ThreadPool freeze_pool(0);
+    std::vector<std::shared_ptr<const serve::ModelSnapshot>> generations;
+    for (size_t g = 0; g < ts_generations; ++g) {
+      Rng gen_rng(900 + g);
+      MfModel gen_model(data.num_users(), data.num_items(), dim, gen_rng);
+      gen_model.Forward(gen_rng);
+      generations.push_back(
+          std::make_shared<const serve::ModelSnapshot>(gen_model,
+                                                       freeze_pool));
+    }
+    serve::ServingFrontEnd frontend(data, generations[0], fe_cfg);
+    std::unordered_map<uint64_t, size_t> seq_to_gen{{1, 0}};
+
+    std::vector<std::vector<serve::TopKRequest>> streams(ts_producers);
+    for (size_t p = 0; p < ts_producers; ++p) {
+      streams[p] = MakeRequests(reqs_per_producer, data.num_users(), k,
+                                5000 + 23 * p);
+      trainserve_requests += streams[p].size();
+    }
+    // Publish the remaining generations spaced through the run, from a
+    // separate thread, exactly like a live trainer would.
+    std::thread publisher([&] {
+      for (size_t g = 1; g < ts_generations; ++g) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        seq_to_gen.emplace(frontend.PublishSnapshot(generations[g]), g);
+      }
+    });
+    const ClosedLoopResult run = RunClosedLoop(frontend, streams);
+    publisher.join();
+    trainserve_rps = run.requests_per_sec;
+
+    // Verify attribution + bit-identity per generation: each response
+    // names its publication, and its ranking equals the synchronous
+    // ranking on that very snapshot.
+    runtime::ThreadPool ref_pool(1);
+    std::vector<std::unique_ptr<serve::RankingEngine>> refs(ts_generations);
+    for (size_t p = 0; p < ts_producers; ++p) {
+      for (size_t r = 0; r < streams[p].size(); ++r) {
+        const serve::ServedResponse& got = run.responses[p][r];
+        const auto gen_it = seq_to_gen.find(got.snapshot_seq);
+        if (gen_it == seq_to_gen.end()) {
+          trainserve_matched = false;  // served an unpublished snapshot?!
+          continue;
+        }
+        const size_t g = gen_it->second;
+        trainserve_matched =
+            trainserve_matched && got.snapshot == generations[g];
+        if (refs[g] == nullptr) {
+          refs[g] = std::make_unique<serve::RankingEngine>(
+              data, *generations[g], ref_pool, fe_cfg.serve);
+        }
+        trainserve_matched =
+            trainserve_matched &&
+            SameResponse(got.topk, refs[g]->Handle(streams[p][r]));
+      }
+    }
+    const serve::FrontEndStats st = frontend.stats();
+    std::printf(
+        "train-and-serve: %zu producers, %zu requests, %llu snapshots "
+        "published, %.0f req/s\n",
+        ts_producers, trainserve_requests,
+        static_cast<unsigned long long>(st.snapshots_published),
+        trainserve_rps);
+    std::printf("train-and-serve responses match their snapshot: %s\n",
+                trainserve_matched ? "yes" : "NO — BUG");
+  }
+  identical = identical && frontdoor_identical && trainserve_matched;
+
   // ---- machine-readable output ----
   FILE* out = bench::BeginBenchJson("BENCH_serve.json");
   if (out == nullptr) return 1;
@@ -244,6 +477,28 @@ int main() {
                "\"exact_fallbacks\": %llu},\n",
                static_cast<unsigned long long>(quant_stats.shards_scanned),
                static_cast<unsigned long long>(quant_stats.shards_fallback));
+  std::fprintf(out,
+               "  \"frontend\": {\"max_batch\": %zu, "
+               "\"flush_deadline_us\": %u, \"points\": [\n",
+               fe_cfg.max_batch, fe_cfg.flush_deadline_us);
+  for (size_t i = 0; i < fe_points.size(); ++i) {
+    const FrontEndPoint& p = fe_points[i];
+    std::fprintf(out,
+                 "    {\"producers\": %zu, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"requests_per_sec\": %.1f, "
+                 "\"size_flushes\": %llu, \"deadline_flushes\": %llu}%s\n",
+                 p.producers, p.p50_ms, p.p99_ms, p.requests_per_sec,
+                 static_cast<unsigned long long>(p.size_flushes),
+                 static_cast<unsigned long long>(p.deadline_flushes),
+                 i + 1 < fe_points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]},\n");
+  std::fprintf(out,
+               "  \"train_and_serve\": {\"producers\": %zu, "
+               "\"snapshots_published\": %zu, \"requests\": %zu, "
+               "\"requests_per_sec\": %.1f, \"responses_matched\": %s},\n",
+               ts_producers, ts_generations, trainserve_requests,
+               trainserve_rps, trainserve_matched ? "true" : "false");
   bench::FinishBenchJson(out, "BENCH_serve.json", identical);
   return identical ? 0 : 1;
 }

@@ -1,35 +1,24 @@
-// Batched top-k inference service.
+// Batched top-k inference service (synchronous, single-driver).
 //
 // `InferenceService` is the online counterpart of the offline
 // `Evaluator`: it freezes a model into a read-only `ModelSnapshot` at
-// construction and then answers single or batched top-k requests by
-// sharded full-catalog scoring over a `runtime::ThreadPool` (see
-// topk_scorer.h). Because the snapshot is an immutable copy, the
-// source model may keep training while the service answers traffic.
+// construction and then answers single or batched top-k requests
+// through a `RankingEngine` (ranking_engine.h — request semantics,
+// cutoff-prefix reuse, and the bit-identity contracts live there).
+// Because the snapshot is an immutable copy, the source model may keep
+// training while the service answers traffic.
 //
-// Request semantics
-//   * `filter_seen` (default on) masks the user's training positives —
-//     a recommendation list must never contain already-consumed items.
-//     `extra_seen` masks additional per-request ids (sorted ascending),
-//     e.g. items the user saw since the snapshot was taken.
-//   * Responses are ordered by (score descending, item id ascending),
-//     a strict total order, so every answer is unique and
-//     bit-identical for any worker count and any batch packing:
-//     HandleBatch(reqs)[i] == Handle(reqs[i]), always.
-//
-// Cutoff prefix reuse
-//   * Default-filtered requests with k <= `ServeConfig::max_k` are
-//     served from a per-user cached top-max_k ranking (computed on
-//     first touch); smaller cutoffs are prefixes of it (the total
-//     order gives rankings the prefix property). Custom-filtered or
-//     deeper requests bypass the cache and are scored directly.
-//
-// Threading: the service drives its pool from the calling thread — use
-// it from one thread at a time (put a queue in front for concurrent
-// producers). One service handles one batch at a time.
+// Threading: the service drives its pool from the calling thread and is
+// strictly *single-driver* — one thread, one Handle/HandleBatch at a
+// time. Driving it from two threads used to race silently; it now
+// aborts with a diagnostic. For concurrent producers use
+// `serve::ServingFrontEnd` (serving_frontend.h), the documented
+// concurrent entry point: a request queue + adaptive micro-batcher in
+// front of this same engine, with live snapshot hot-swap.
 #ifndef BSLREC_SERVE_INFERENCE_SERVICE_H_
 #define BSLREC_SERVE_INFERENCE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -39,38 +28,10 @@
 #include "models/model.h"
 #include "runtime/thread_pool.h"
 #include "serve/model_snapshot.h"
+#include "serve/ranking_engine.h"
 #include "serve/topk_scorer.h"
 
 namespace bslrec::serve {
-
-struct ServeConfig {
-  // Depth of the per-user cached ranking; requests with k <= max_k and
-  // default filtering share one cached computation per user.
-  uint32_t max_k = 100;
-  // Catalog items per scoring shard (per-worker buffer size).
-  uint32_t items_per_shard = CatalogScorer::kDefaultItemsPerShard;
-  // Disable to score every request from scratch (benchmarks).
-  bool cache_rankings = true;
-  // Build an int8 item table at snapshot time and serve through the
-  // certified two-phase quantized scan (see topk_scorer.h). Responses
-  // are bit-identical to the exact scorer; only latency changes.
-  bool quantize = false;
-  // Extra phase-1 candidates per shard beyond each request's k.
-  uint32_t candidate_margin = kDefaultCandidateMargin;
-  runtime::RuntimeConfig runtime;
-};
-
-struct TopKRequest {
-  uint32_t user = 0;
-  uint32_t k = 10;
-  bool filter_seen = true;            // mask the user's train positives
-  std::span<const uint32_t> extra_seen;  // sorted extra ids to mask
-};
-
-struct TopKResponse {
-  std::vector<uint32_t> items;  // best first, at most k
-  std::vector<float> scores;    // cosine scores, parallel to items
-};
 
 class InferenceService {
  public:
@@ -82,7 +43,7 @@ class InferenceService {
   const ModelSnapshot& snapshot() const { return snapshot_; }
   const ServeConfig& config() const { return config_; }
   // Scan statistics (quantized mode: shards scanned / fallbacks).
-  const CatalogScorer& scorer() const { return scorer_; }
+  const CatalogScorer& scorer() const { return engine_->scorer(); }
 
   TopKResponse Handle(const TopKRequest& request);
   // Answers every request; responses[i] answers requests[i] and is
@@ -91,13 +52,14 @@ class InferenceService {
       std::span<const TopKRequest> requests);
 
  private:
-  const Dataset& data_;
   ServeConfig config_;
   std::unique_ptr<runtime::ThreadPool> pool_;
   ModelSnapshot snapshot_;
-  CatalogScorer scorer_;
-  std::vector<uint8_t> cache_valid_;           // per user
-  std::vector<std::vector<ScoredItem>> cache_;  // per user, top-max_k
+  std::unique_ptr<RankingEngine> engine_;
+  // Catches a second thread entering Handle/HandleBatch while a call is
+  // in flight (the single-driver contract above): aborts loudly instead
+  // of racing the scorer scratch and the ranking cache.
+  std::atomic<bool> busy_{false};
 };
 
 }  // namespace bslrec::serve

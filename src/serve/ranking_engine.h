@@ -1,0 +1,112 @@
+// Snapshot-bound batched ranking core.
+//
+// `RankingEngine` is the request-to-ranking machinery shared by every
+// serving entry point: it binds one immutable `ModelSnapshot` to a
+// `CatalogScorer` plus a per-user cached-ranking table and answers
+// single or batched `TopKRequest`s. The two front ends layer ownership
+// and threading policy on top:
+//
+//   * `InferenceService` (inference_service.h) — synchronous: owns a
+//     pool + snapshot + one engine, driven by one calling thread.
+//   * `ServingFrontEnd` (serving_frontend.h) — concurrent: many
+//     producers feed a queue; a dispatcher thread owns the pool and
+//     drives one engine *per published snapshot* (the cache is part of
+//     the engine, so cached rankings can never mix snapshots).
+//
+// Request semantics
+//   * `filter_seen` (default on) masks the user's training positives —
+//     a recommendation list must never contain already-consumed items.
+//     `extra_seen` masks additional per-request ids (sorted ascending),
+//     e.g. items the user saw since the snapshot was taken.
+//   * Responses are ordered by (score descending, item id ascending),
+//     a strict total order, so every answer is unique and
+//     bit-identical for any worker count and any batch packing:
+//     HandleBatch(reqs)[i] == Handle(reqs[i]), always.
+//
+// Cutoff prefix reuse
+//   * Default-filtered requests with k <= `ServeConfig::max_k` are
+//     served from a per-user cached top-max_k ranking (computed on
+//     first touch); smaller cutoffs are prefixes of it (the total
+//     order gives rankings the prefix property). Custom-filtered or
+//     deeper requests bypass the cache and are scored directly.
+//
+// Threading: `Handle`/`HandleBatch` drive the engine's pool from the
+// calling thread and mutate the cache — one call at a time, from
+// whichever single thread owns the engine (the pool's own one-driver
+// contract, see runtime/thread_pool.h).
+#ifndef BSLREC_SERVE_RANKING_ENGINE_H_
+#define BSLREC_SERVE_RANKING_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "runtime/thread_pool.h"
+#include "serve/model_snapshot.h"
+#include "serve/topk_scorer.h"
+
+namespace bslrec::serve {
+
+struct ServeConfig {
+  // Depth of the per-user cached ranking; requests with k <= max_k and
+  // default filtering share one cached computation per user.
+  uint32_t max_k = 100;
+  // Catalog items per scoring shard (per-worker buffer size).
+  uint32_t items_per_shard = CatalogScorer::kDefaultItemsPerShard;
+  // Disable to score every request from scratch (benchmarks).
+  bool cache_rankings = true;
+  // Build an int8 item table at snapshot time and serve through the
+  // certified two-phase quantized scan (see topk_scorer.h). Responses
+  // are bit-identical to the exact scorer; only latency changes.
+  bool quantize = false;
+  // Extra phase-1 candidates per shard beyond each request's k.
+  uint32_t candidate_margin = kDefaultCandidateMargin;
+  runtime::RuntimeConfig runtime;
+};
+
+struct TopKRequest {
+  uint32_t user = 0;
+  uint32_t k = 10;
+  bool filter_seen = true;               // mask the user's train positives
+  std::span<const uint32_t> extra_seen;  // sorted extra ids to mask
+};
+
+struct TopKResponse {
+  std::vector<uint32_t> items;  // best first, at most k
+  std::vector<float> scores;    // cosine scores, parallel to items
+};
+
+class RankingEngine {
+ public:
+  // Binds `snapshot` to a scorer + cache. `data` provides the
+  // seen-item (train positive) lists; `data`, `snapshot`, and `pool`
+  // must outlive the engine. Construction never drives `pool` — it is
+  // safe while another thread is inside a Run (the front end publishes
+  // fresh engines from the trainer thread mid-traffic).
+  RankingEngine(const Dataset& data, const ModelSnapshot& snapshot,
+                runtime::ThreadPool& pool, const ServeConfig& config);
+
+  const ModelSnapshot& snapshot() const { return snapshot_; }
+  const ServeConfig& config() const { return config_; }
+  // Scan statistics (quantized mode: shards scanned / fallbacks).
+  const CatalogScorer& scorer() const { return scorer_; }
+
+  TopKResponse Handle(const TopKRequest& request);
+  // Answers every request; responses[i] answers requests[i] and is
+  // identical to Handle(requests[i]).
+  std::vector<TopKResponse> HandleBatch(
+      std::span<const TopKRequest> requests);
+
+ private:
+  const Dataset& data_;
+  ServeConfig config_;
+  const ModelSnapshot& snapshot_;
+  CatalogScorer scorer_;
+  std::vector<uint8_t> cache_valid_;            // per user
+  std::vector<std::vector<ScoredItem>> cache_;  // per user, top-max_k
+};
+
+}  // namespace bslrec::serve
+
+#endif  // BSLREC_SERVE_RANKING_ENGINE_H_

@@ -1,0 +1,248 @@
+#include "serve/serving_frontend.h"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "math/check.h"
+
+namespace bslrec::serve {
+
+ServingFrontEnd::ServingFrontEnd(const Dataset& data,
+                                 std::shared_ptr<const ModelSnapshot> snapshot,
+                                 FrontEndConfig config)
+    : data_(data),
+      config_(config),
+      pool_(config.serve.runtime.num_threads) {
+  Init(std::move(snapshot));
+}
+
+ServingFrontEnd::ServingFrontEnd(const Dataset& data,
+                                 const EmbeddingModel& model,
+                                 FrontEndConfig config)
+    : data_(data),
+      config_(config),
+      pool_(config.serve.runtime.num_threads) {
+  // The dispatcher has not started, so the constructing thread is the
+  // pool's sole driver here — the one place besides the dispatcher
+  // allowed to use it.
+  Init(std::make_shared<const ModelSnapshot>(
+      model, pool_,
+      SnapshotOptions{.quantize_items = config.serve.quantize}));
+}
+
+void ServingFrontEnd::Init(std::shared_ptr<const ModelSnapshot> snapshot) {
+  BSLREC_CHECK(config_.max_batch > 0);
+  BSLREC_CHECK(config_.serve.max_k > 0);
+  PublishSnapshot(std::move(snapshot));
+  dispatcher_ = std::thread(&ServingFrontEnd::DispatchLoop, this);
+}
+
+ServingFrontEnd::~ServingFrontEnd() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();  // the dispatcher flushes the queue before exiting
+}
+
+std::future<ServedResponse> ServingFrontEnd::Submit(
+    const TopKRequest& request) {
+  Pending p;
+  p.req = request;
+  p.extra.assign(request.extra_seen.begin(), request.extra_seen.end());
+  p.req.extra_seen = p.extra;
+  p.enqueued = std::chrono::steady_clock::now();
+  std::future<ServedResponse> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BSLREC_CHECK_MSG(!shutdown_,
+                     "Submit on a ServingFrontEnd being destroyed");
+    queue_.push_back(std::move(p));
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+std::vector<std::future<ServedResponse>> ServingFrontEnd::SubmitBatch(
+    std::span<const TopKRequest> requests) {
+  std::vector<std::future<ServedResponse>> futures;
+  futures.reserve(requests.size());
+  if (requests.empty()) return futures;
+  std::vector<Pending> pendings(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Pending& p = pendings[i];
+    p.req = requests[i];
+    p.extra.assign(requests[i].extra_seen.begin(),
+                   requests[i].extra_seen.end());
+    p.req.extra_seen = p.extra;
+    p.enqueued = std::chrono::steady_clock::now();
+    futures.push_back(p.promise.get_future());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BSLREC_CHECK_MSG(!shutdown_,
+                     "SubmitBatch on a ServingFrontEnd being destroyed");
+    for (Pending& p : pendings) queue_.push_back(std::move(p));
+  }
+  queue_cv_.notify_one();
+  return futures;
+}
+
+ServedResponse ServingFrontEnd::HandleSync(const TopKRequest& request) {
+  return Submit(request).get();
+}
+
+std::vector<ServedResponse> ServingFrontEnd::HandleBatchSync(
+    std::span<const TopKRequest> requests) {
+  std::vector<std::future<ServedResponse>> futures = SubmitBatch(requests);
+  std::vector<ServedResponse> out;
+  out.reserve(futures.size());
+  for (std::future<ServedResponse>& fut : futures) {
+    out.push_back(fut.get());
+  }
+  return out;
+}
+
+uint64_t ServingFrontEnd::PublishSnapshot(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  BSLREC_CHECK(snapshot != nullptr);
+  BSLREC_CHECK(snapshot->num_users() == data_.num_users());
+  BSLREC_CHECK(snapshot->num_items() == data_.num_items());
+  BSLREC_CHECK_MSG(
+      !config_.serve.quantize || snapshot->has_quantized_items(),
+      "FrontEndConfig::serve.quantize requires snapshots built with "
+      "SnapshotOptions::quantize_items");
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  const uint64_t seq = next_seq_++;
+  // Engine construction never drives the pool (ranking_engine.h), so
+  // building the new state races nothing the dispatcher is doing.
+  state_.store(std::make_shared<State>(data_, std::move(snapshot), pool_,
+                                       config_.serve, seq));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.snapshots_published;
+  }
+  return seq;
+}
+
+std::shared_ptr<const ModelSnapshot> ServingFrontEnd::current_snapshot()
+    const {
+  return state_.load()->snapshot;
+}
+
+uint64_t ServingFrontEnd::current_seq() const { return state_.load()->seq; }
+
+void ServingFrontEnd::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+FrontEndStats ServingFrontEnd::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ServingFrontEnd::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    // The batch opened when the oldest pending request arrived; wait
+    // for it to fill, but never past that request's deadline. A full
+    // queue (or shutdown) skips the wait entirely.
+    const auto deadline =
+        queue_.front().enqueued +
+        std::chrono::microseconds(config_.flush_deadline_us);
+    const bool filled = queue_cv_.wait_until(lock, deadline, [&] {
+      return shutdown_ || queue_.size() >= config_.max_batch;
+    });
+
+    const size_t n = std::min<size_t>(queue_.size(), config_.max_batch);
+    std::vector<Pending> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    in_flight_ = n;
+    ++stats_.batches;
+    if (n == config_.max_batch) {
+      ++stats_.size_flushes;
+    } else if (filled && shutdown_) {
+      ++stats_.drain_flushes;
+    } else {
+      ++stats_.deadline_flushes;
+    }
+    stats_.max_batch_served = std::max<uint64_t>(stats_.max_batch_served, n);
+
+    lock.unlock();
+    ServeBatch(batch);
+    lock.lock();
+
+    stats_.requests += n;
+    in_flight_ = 0;
+    idle_cv_.notify_all();
+  }
+}
+
+void ServingFrontEnd::ServeBatch(std::vector<Pending>& batch) {
+  const std::shared_ptr<State> state = state_.load();
+  const ModelSnapshot& snapshot = *state->snapshot;
+
+  // Validate up front so malformed requests fail their own future with
+  // a diagnostic instead of tripping the engine's process-wide checks.
+  std::vector<TopKRequest> valid;
+  std::vector<size_t> valid_idx;
+  valid.reserve(batch.size());
+  valid_idx.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const TopKRequest& req = batch[i].req;
+    std::string error;
+    if (req.user >= snapshot.num_users()) {
+      error = "user " + std::to_string(req.user) + " out of range [0, " +
+              std::to_string(snapshot.num_users()) + ")";
+    } else if (req.k == 0) {
+      error = "k must be > 0";
+    } else if (!std::is_sorted(req.extra_seen.begin(),
+                               req.extra_seen.end())) {
+      error = "extra_seen must be sorted ascending";
+    }
+    if (error.empty()) {
+      valid.push_back(req);
+      valid_idx.push_back(i);
+    } else {
+      batch[i].promise.set_exception(std::make_exception_ptr(
+          std::invalid_argument("ServingFrontEnd: " + error)));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected;
+    }
+  }
+  if (valid.empty()) return;
+
+  try {
+    std::vector<TopKResponse> responses = state->engine.HandleBatch(valid);
+    for (size_t v = 0; v < valid_idx.size(); ++v) {
+      ServedResponse served;
+      served.topk = std::move(responses[v]);
+      served.snapshot_seq = state->seq;
+      served.snapshot = state->snapshot;
+      batch[valid_idx[v]].promise.set_value(std::move(served));
+    }
+  } catch (...) {
+    // Scoring failed (e.g. a user callback threw through the pool):
+    // fail every future of this batch; later batches proceed.
+    const std::exception_ptr error = std::current_exception();
+    for (size_t v = 0; v < valid_idx.size(); ++v) {
+      batch[valid_idx[v]].promise.set_exception(error);
+    }
+  }
+}
+
+}  // namespace bslrec::serve

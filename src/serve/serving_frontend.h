@@ -1,0 +1,225 @@
+// Concurrent serving front door: request queue, adaptive
+// micro-batching, and live snapshot hot-swap.
+//
+// `ServingFrontEnd` is the documented *concurrent* entry point to the
+// serving stack — the queue the `InferenceService` docs always told
+// callers to put in front. Any number of producer threads `Submit`
+// requests; each submission returns a `std::future<ServedResponse>`
+// that completes when the request has been scored.
+//
+// Pipeline
+//   producers --> MPMC queue --> micro-batcher --> dispatcher-owned
+//                                                  pool + RankingEngine
+//
+//   * Queue. A mutex+condvar MPMC deque. Each entry owns a copy of the
+//     request (including `extra_seen`, so the caller's span may die the
+//     moment Submit returns) plus the promise that fulfills its future.
+//   * Adaptive micro-batcher. The dispatcher opens a batch at the
+//     oldest queued request and flushes when either `max_batch`
+//     requests are pending (size flush) or `flush_deadline_us` has
+//     elapsed since that oldest request arrived (deadline flush) —
+//     whichever fires first. Under load batches fill to `max_batch`
+//     and throughput dominates; at low load a lone request waits at
+//     most one deadline. Shutdown/drain flushes immediately.
+//   * Worker ownership (the TaskRunner pattern, task_runner.h). The
+//     front end owns a *private* `runtime::ThreadPool`, and the single
+//     dispatcher thread is its sole driver: only batch scoring —
+//     running on the dispatcher — ever calls into the pool, so the
+//     pool's one-driver/no-nested-Run contract holds by construction.
+//     Producers never touch the pool; they only enqueue.
+//
+// Snapshot hot-swap
+//   * The front end serves whatever `ModelSnapshot` was most recently
+//     published. `PublishSnapshot` wraps an immutable snapshot in a
+//     fresh `RankingEngine` (scorer + per-user ranking cache — caches
+//     are engine-local, so they are keyed per snapshot and can never
+//     mix generations) and publishes it through a single
+//     `std::atomic<std::shared_ptr>` store. Publication never blocks
+//     serving and serving never blocks publication: batches in flight
+//     finish on the shared_ptr they loaded (the old snapshot stays
+//     alive until its last batch drops it), the next batch loads the
+//     new one. A live trainer freezes snapshots on its *own* pool
+//     (engine construction does not drive the front end's pool) and
+//     publishes mid-traffic with zero serving stalls.
+//   * Publications are serialized internally; `snapshot_seq` in every
+//     response names the publication that served it (monotone from 1).
+//
+// Equivalence contract
+//   * Batching and queueing move *latency*, never results: every
+//     response is bit-identical to `InferenceService::Handle` against
+//     the snapshot that served it (`ServedResponse::snapshot`). This
+//     holds because batches are packing-invariant
+//     (HandleBatch(reqs)[i] == Handle(reqs[i]), ranking_engine.h) and
+//     thread-count-invariant (the PR 1 sharding contract) — enforced
+//     by tests/test_serving_frontend.cc and the bench_serve probe.
+//
+// Errors
+//   * Malformed requests (user out of range, k == 0, unsorted
+//     extra_seen) fail their own future with std::invalid_argument;
+//     the rest of the batch is served normally. Scoring errors fail
+//     every future of the affected batch. The library's no-exceptions
+//     rule stops at the future boundary: errors travel through
+//     promises, never across the public API as throws.
+//   * The destructor drains: every submitted request is served (or
+//     failed) before the front end dies.
+#ifndef BSLREC_SERVE_SERVING_FRONTEND_H_
+#define BSLREC_SERVE_SERVING_FRONTEND_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/model.h"
+#include "runtime/thread_pool.h"
+#include "serve/model_snapshot.h"
+#include "serve/ranking_engine.h"
+
+namespace bslrec::serve {
+
+struct FrontEndConfig {
+  // Flush a batch as soon as this many requests are pending.
+  size_t max_batch = 64;
+  // ... or when the oldest pending request has waited this long.
+  uint32_t flush_deadline_us = 200;
+  // Scoring configuration (ServeConfig::runtime sizes the private
+  // pool; quantize requires published snapshots built with
+  // SnapshotOptions::quantize_items).
+  ServeConfig serve;
+};
+
+// One served request: the ranking plus which snapshot publication
+// produced it (responses across a hot-swap are attributable).
+struct ServedResponse {
+  TopKResponse topk;
+  uint64_t snapshot_seq = 0;
+  std::shared_ptr<const ModelSnapshot> snapshot;
+};
+
+// Cumulative front-end counters (monotone; see stats()).
+struct FrontEndStats {
+  uint64_t requests = 0;          // served or failed, excludes queued
+  uint64_t rejected = 0;          // failed validation (invalid_argument)
+  uint64_t batches = 0;
+  uint64_t size_flushes = 0;      // batch closed by max_batch
+  uint64_t deadline_flushes = 0;  // batch closed by flush_deadline_us
+  uint64_t drain_flushes = 0;     // batch closed by shutdown/drain
+  uint64_t max_batch_served = 0;  // largest batch observed
+  uint64_t snapshots_published = 0;  // including the initial snapshot
+};
+
+class ServingFrontEnd {
+ public:
+  // Serves `snapshot` (seq 1) until the next PublishSnapshot. `data`
+  // provides seen-item lists and must outlive the front end.
+  ServingFrontEnd(const Dataset& data,
+                  std::shared_ptr<const ModelSnapshot> snapshot,
+                  FrontEndConfig config = {});
+  // Convenience: freezes `model` into the initial snapshot on the
+  // front end's own pool (safe — the dispatcher has not started yet).
+  ServingFrontEnd(const Dataset& data, const EmbeddingModel& model,
+                  FrontEndConfig config = {});
+  // Drains the queue (every request served or failed), then joins the
+  // dispatcher.
+  ~ServingFrontEnd();
+
+  ServingFrontEnd(const ServingFrontEnd&) = delete;
+  ServingFrontEnd& operator=(const ServingFrontEnd&) = delete;
+
+  // Enqueues one request; thread-safe from any number of producers.
+  // Copies `request.extra_seen` — the caller's span may be freed
+  // immediately. The future completes with the served response or
+  // with std::invalid_argument for a malformed request.
+  std::future<ServedResponse> Submit(const TopKRequest& request);
+  // Enqueues every request in order (one queue operation); result i
+  // belongs to requests[i].
+  std::vector<std::future<ServedResponse>> SubmitBatch(
+      std::span<const TopKRequest> requests);
+
+  // Submit + wait. From N threads this *is* the closed-loop load the
+  // bench generates; the micro-batcher coalesces concurrent callers.
+  ServedResponse HandleSync(const TopKRequest& request);
+  std::vector<ServedResponse> HandleBatchSync(
+      std::span<const TopKRequest> requests);
+
+  // Atomically swaps the served snapshot (zero serving stalls; see the
+  // header note). Returns the publication's snapshot_seq. Thread-safe;
+  // concurrent publications are serialized, last one wins.
+  uint64_t PublishSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  // The currently served publication.
+  std::shared_ptr<const ModelSnapshot> current_snapshot() const;
+  uint64_t current_seq() const;
+
+  // Blocks until every request submitted so far has been served.
+  void Drain();
+
+  const FrontEndConfig& config() const { return config_; }
+  FrontEndStats stats() const;
+
+ private:
+  // One publication: the snapshot plus the engine bound to it. Only
+  // the dispatcher calls engine.HandleBatch (and thereby drives the
+  // pool / mutates the cache); publishers only construct.
+  struct State {
+    State(const Dataset& data, std::shared_ptr<const ModelSnapshot> snap,
+          runtime::ThreadPool& pool, const ServeConfig& config,
+          uint64_t sequence)
+        : snapshot(std::move(snap)),
+          seq(sequence),
+          engine(data, *snapshot, pool, config) {}
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    uint64_t seq;
+    RankingEngine engine;
+  };
+
+  // A queued request owning its exclusion list and its promise.
+  struct Pending {
+    TopKRequest req;
+    std::vector<uint32_t> extra;  // backing store for req.extra_seen
+    std::promise<ServedResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  // Shared tail of both constructors: validates config, publishes the
+  // initial state, starts the dispatcher.
+  void Init(std::shared_ptr<const ModelSnapshot> snapshot);
+  void DispatchLoop();
+  // Scores one batch on the current state and fulfills its promises.
+  void ServeBatch(std::vector<Pending>& batch);
+
+  const Dataset& data_;
+  FrontEndConfig config_;
+  runtime::ThreadPool pool_;  // driven only by the dispatcher (+ Init)
+
+  // Hot-swap publication point. Producers/publishers store, the
+  // dispatcher loads once per batch. Non-const because the dispatcher
+  // mutates the engine (cache, scorer scratch) — publishers only ever
+  // construct and store.
+  std::atomic<std::shared_ptr<State>> state_;
+  std::mutex publish_mu_;  // serializes seq assignment + store
+  uint64_t next_seq_ = 1;  // guarded by publish_mu_
+
+  mutable std::mutex mu_;            // queue + stats + lifecycle
+  std::condition_variable queue_cv_;  // wakes the dispatcher
+  std::condition_variable idle_cv_;   // wakes Drain
+  std::deque<Pending> queue_;
+  size_t in_flight_ = 0;  // requests taken but not yet fulfilled
+  bool shutdown_ = false;
+  FrontEndStats stats_;
+
+  std::thread dispatcher_;  // last member: starts after state is ready
+};
+
+}  // namespace bslrec::serve
+
+#endif  // BSLREC_SERVE_SERVING_FRONTEND_H_

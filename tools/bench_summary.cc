@@ -1,0 +1,276 @@
+// bench_summary — perf-trajectory headline extractor.
+//
+// Reads the BENCH_*.json files the bench harnesses emit and distills
+// them into one small BENCH_summary.json: a handful of headline
+// metrics (trainer samples/sec, serve req/s + p99, graph propagate
+// ms/layer, front-door req/s under contention) plus the per-file
+// determinism-probe verdicts. CI's bench-trajectory step uploads the
+// summary as an artifact so the repo's perf history is one tiny file
+// per run instead of five — and exits non-zero when any probe failed
+// or an expected metric is missing, so a silent format drift can't
+// fake a healthy trajectory.
+//
+//   bench_summary [--out=BENCH_summary.json] BENCH_runtime.json ...
+//
+// The extractor is a purpose-built scanner for the repo's own bench
+// JSON (bench/bench_util.h envelope + known payload keys), not a
+// general JSON parser — it tolerates reordered keys but knows which
+// file contributes which headline by basename.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Headline {
+  const char* key;     // name in BENCH_summary.json
+  double value;
+};
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// Returns the text of the bracketed section (array or object) opening
+// right after `"key":`, brackets balanced; empty if absent.
+std::string Section(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(
+                                  text[pos]))) {
+    ++pos;
+  }
+  if (pos >= text.size() || (text[pos] != '[' && text[pos] != '{')) return "";
+  const char open = text[pos];
+  const char close = open == '[' ? ']' : '}';
+  int depth = 0;
+  for (size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == open) ++depth;
+    if (text[i] == close && --depth == 0) {
+      return text.substr(pos, i - pos + 1);
+    }
+  }
+  return "";
+}
+
+// Splits a flat-or-nested JSON array into its top-level object texts.
+std::vector<std::string> Objects(const std::string& array_text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < array_text.size(); ++i) {
+    if (array_text[i] == '{') {
+      if (depth == 0) start = i;
+      ++depth;
+    } else if (array_text[i] == '}') {
+      if (--depth == 0) out.push_back(array_text.substr(start, i - start + 1));
+    }
+  }
+  return out;
+}
+
+std::optional<double> Number(const std::string& text, const std::string& key,
+                             bool last = false) {
+  const std::string needle = "\"" + key + "\":";
+  std::optional<double> found;
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const char* start = text.c_str() + pos + needle.size();
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end != start) {
+      found = v;
+      if (!last) return found;
+    }
+    pos += needle.size();
+  }
+  return found;
+}
+
+std::optional<bool> Bool(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const size_t v = text.find_first_not_of(" \t\n", pos + needle.size());
+  if (v == std::string::npos) return std::nullopt;
+  if (text.compare(v, 4, "true") == 0) return true;
+  if (text.compare(v, 5, "false") == 0) return false;
+  return std::nullopt;
+}
+
+// The determinism-probe verdict FinishBenchJson wrote (key varies by
+// bench: "bit_identical" or "metrics_bit_identical").
+std::optional<bool> ProbeVerdict(const std::string& text) {
+  if (auto v = Bool(text, "bit_identical"); v.has_value()) return v;
+  return Bool(text, "metrics_bit_identical");
+}
+
+int Fail(const std::string& why) {
+  std::fprintf(stderr, "bench_summary: %s\n", why.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_summary.json";
+  std::vector<std::string> inputs;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--help") {
+      std::fprintf(stderr,
+                   "usage: bench_summary [--out=FILE] BENCH_*.json...\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Fail("unknown flag '" + arg + "'");
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return Fail("no input files (pass BENCH_*.json)");
+
+  std::vector<Headline> headlines;
+  std::vector<std::pair<std::string, bool>> probes;
+  std::string machine;  // copied verbatim from the first input
+  bool all_probes_passed = true;
+  std::optional<double> runtime_trainer_sps, sampling_trainer_sps;
+
+  for (const std::string& path : inputs) {
+    const std::optional<std::string> text = ReadFile(path);
+    if (!text.has_value()) return Fail("cannot read " + path);
+    const std::string name = Basename(path);
+
+    const std::optional<bool> probe = ProbeVerdict(*text);
+    if (!probe.has_value()) {
+      return Fail(name + ": no determinism-probe verdict found");
+    }
+    probes.emplace_back(name, *probe);
+    all_probes_passed = all_probes_passed && *probe;
+    if (machine.empty()) machine = Section(*text, "machine");
+
+    if (name == "BENCH_runtime.json" || name == "BENCH_sampling.json") {
+      // Last trainer point = hardware-thread end-to-end throughput.
+      // The sampling bench's number (fused in-shard pipeline) wins
+      // when both files are given; runtime's fills in otherwise.
+      const std::optional<double> sps =
+          Number(Section(*text, "trainer"), "samples_per_sec", true);
+      if (!sps.has_value()) return Fail(name + ": no trainer samples/sec");
+      if (name == "BENCH_sampling.json") {
+        sampling_trainer_sps = sps;
+      } else {
+        runtime_trainer_sps = sps;
+      }
+    } else if (name == "BENCH_serve.json") {
+      // Widest exact-scan point: max threads, then max batch.
+      double best_rps = -1.0, best_p99 = -1.0;
+      double best_threads = -1.0, best_batch = -1.0;
+      for (const std::string& obj : Objects(Section(*text, "points"))) {
+        if (obj.find("\"mode\": \"exact\"") == std::string::npos) continue;
+        const std::optional<double> threads = Number(obj, "threads");
+        const std::optional<double> batch = Number(obj, "batch");
+        const std::optional<double> rps = Number(obj, "requests_per_sec");
+        const std::optional<double> p99 = Number(obj, "p99_ms");
+        if (!threads || !batch || !rps || !p99) continue;
+        if (*threads > best_threads ||
+            (*threads == best_threads && *batch > best_batch)) {
+          best_threads = *threads;
+          best_batch = *batch;
+          best_rps = *rps;
+          best_p99 = *p99;
+        }
+      }
+      if (best_rps < 0.0) return Fail(name + ": no exact serve point");
+      headlines.push_back({"serve_req_per_sec", best_rps});
+      headlines.push_back({"serve_p99_ms", best_p99});
+      // Front door under the heaviest contention (max producers).
+      double best_producers = -1.0, fd_rps = -1.0, fd_p99 = -1.0;
+      const std::string frontend = Section(*text, "frontend");
+      for (const std::string& obj : Objects(Section(frontend, "points"))) {
+        const std::optional<double> producers = Number(obj, "producers");
+        const std::optional<double> rps = Number(obj, "requests_per_sec");
+        const std::optional<double> p99 = Number(obj, "p99_ms");
+        if (!producers || !rps || !p99) continue;
+        if (*producers > best_producers) {
+          best_producers = *producers;
+          fd_rps = *rps;
+          fd_p99 = *p99;
+        }
+      }
+      if (fd_rps < 0.0) return Fail(name + ": no front-door point");
+      headlines.push_back({"frontdoor_producers", best_producers});
+      headlines.push_back({"frontdoor_req_per_sec", fd_rps});
+      headlines.push_back({"frontdoor_p99_ms", fd_p99});
+    } else if (name == "BENCH_graph.json") {
+      const std::optional<double> ms =
+          Number(Section(*text, "propagate"), "ms", true);
+      const std::optional<double> layers =
+          Number(Section(*text, "graph"), "layers");
+      if (!ms || !layers || *layers <= 0.0) {
+        return Fail(name + ": no propagate ms / layer count");
+      }
+      headlines.push_back({"propagate_ms_per_layer", *ms / *layers});
+    }
+    // Other files (e.g. BENCH_async.json) contribute their probe only.
+  }
+  if (sampling_trainer_sps.has_value() || runtime_trainer_sps.has_value()) {
+    headlines.insert(headlines.begin(),
+                     {"trainer_samples_per_sec",
+                      sampling_trainer_sps.value_or(
+                          runtime_trainer_sps.value_or(0.0))});
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) return Fail("cannot write " + out_path);
+  std::fprintf(out, "{\n");
+  if (!machine.empty()) {
+    std::fprintf(out, "  \"machine\": %s,\n", machine.c_str());
+  }
+  std::fprintf(out, "  \"sources\": [");
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    std::fprintf(out, "%s\"%s\"", i == 0 ? "" : ", ",
+                 Basename(inputs[i]).c_str());
+  }
+  std::fprintf(out, "],\n");
+  std::fprintf(out, "  \"headline\": {\n");
+  for (size_t i = 0; i < headlines.size(); ++i) {
+    std::fprintf(out, "    \"%s\": %.4f%s\n", headlines[i].key,
+                 headlines[i].value, i + 1 < headlines.size() ? "," : "");
+  }
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"probes\": {\n");
+  for (size_t i = 0; i < probes.size(); ++i) {
+    std::fprintf(out, "    \"%s\": %s%s\n", probes[i].first.c_str(),
+                 probes[i].second ? "true" : "false",
+                 i + 1 < probes.size() ? "," : "");
+  }
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"all_probes_passed\": %s\n",
+               all_probes_passed ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  for (const Headline& h : headlines) {
+    std::printf("%-28s %.4f\n", h.key, h.value);
+  }
+  std::printf("all probes passed: %s\n", all_probes_passed ? "yes" : "NO");
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_probes_passed ? 0 : 1;
+}

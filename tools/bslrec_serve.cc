@@ -13,25 +13,38 @@
 // skipped. Responses are printed one line per request, in input order:
 //   user=<u> k=<k> items=<item>:<score>,...
 //
+// With --concurrent the tool routes every request through the
+// serve::ServingFrontEnd (MPMC queue + adaptive micro-batcher) instead
+// of the single-driver InferenceService: --producers client threads
+// submit concurrently, the dispatcher forms batches of up to --batch
+// requests flushed after at most --flush-us microseconds, and output
+// is still printed in input order. Responses are bit-identical to the
+// synchronous path for any producer count.
+//
 // Examples:
 //   bslrec_train --dataset=yelp --loss=BSL --save=model.ckpt
 //   echo "3 10" | bslrec_serve --dataset=yelp --load=model.ckpt
 //   bslrec_serve --dataset=yelp --load=model.ckpt
 //                --requests=reqs.txt --batch=256 --threads=8
+//   bslrec_serve --dataset=yelp --load=model.ckpt --requests=reqs.txt
+//                --concurrent --producers=8 --flush-us=200
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
 #include "models/checkpoint.h"
 #include "serve/inference_service.h"
+#include "serve/serving_frontend.h"
 #include "tool_util.h"
 
 namespace {
@@ -56,6 +69,9 @@ struct Options {
   uint32_t margin = serve::kDefaultCandidateMargin;
   uint64_t seed = 42;
   size_t threads = 0;  // 0 = hardware concurrency, 1 = serial
+  bool concurrent = false;  // route through serve::ServingFrontEnd
+  size_t producers = 4;     // client threads in --concurrent mode
+  uint32_t flush_us = 200;  // micro-batch flush deadline (us)
 };
 
 void Usage() {
@@ -69,6 +85,7 @@ void Usage() {
       "                    [--batch=N] [--shard-items=N] [--no-cache]\n"
       "                    [--quantize] [--margin=N]\n"
       "                    [--threads=N] [--seed=N]\n"
+      "                    [--concurrent] [--producers=N] [--flush-us=D]\n"
       "\n"
       "Serves top-k recommendations from a frozen model snapshot.\n"
       "Requests are read from --requests (default: stdin), one per\n"
@@ -95,7 +112,17 @@ void Usage() {
       "               fallbacks on near-tie score distributions)\n"
       "--threads:     worker count (0 = one per hardware thread,\n"
       "               1 = serial). Results are bit-identical for any\n"
-      "               value.\n");
+      "               value.\n"
+      "--concurrent:  serve through the concurrent front door\n"
+      "               (serve::ServingFrontEnd): --producers client\n"
+      "               threads submit into an MPMC queue and a\n"
+      "               dispatcher forms micro-batches of up to --batch\n"
+      "               requests, flushing a partial batch --flush-us\n"
+      "               microseconds after its oldest request arrived.\n"
+      "               Output order and every response are identical\n"
+      "               to the synchronous path.\n"
+      "--producers:   client threads in --concurrent mode (>= 1)\n"
+      "--flush-us:    micro-batch flush deadline in microseconds\n");
 }
 
 bool ParseFlags(int argc, char** argv, Options& opts) {
@@ -145,6 +172,12 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
       opts.margin = static_cast<uint32_t>(as_int());
     } else if (key == "seed") {
       opts.seed = static_cast<uint64_t>(as_int());
+    } else if (key == "concurrent") {
+      opts.concurrent = true;
+    } else if (key == "producers") {
+      opts.producers = static_cast<size_t>(as_int());
+    } else if (key == "flush-us") {
+      opts.flush_us = static_cast<uint32_t>(as_int());
     } else if (key == "threads") {
       const long long n = as_int();
       if (n < 0) {
@@ -163,6 +196,10 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
   if (opts.k == 0 || opts.max_k == 0 || opts.batch == 0 ||
       opts.shard_items == 0) {
     std::fprintf(stderr, "--k, --max-k, --batch, --shard-items must be > 0\n");
+    return false;
+  }
+  if (opts.concurrent && opts.producers == 0) {
+    std::fprintf(stderr, "--producers must be >= 1\n");
     return false;
   }
   return true;
@@ -212,6 +249,84 @@ void PrintResponses(const std::vector<serve::TopKRequest>& reqs,
   }
 }
 
+// --concurrent mode: replay every request through the front door from
+// --producers client threads. Requests are read up front (producer
+// threads must not interleave stream reads); each future is stored at
+// its request's original index so output stays in input order.
+int ServeConcurrent(const Options& opts, const Dataset& data,
+                    const EmbeddingModel& model, const serve::ServeConfig& cfg,
+                    std::istream& in) {
+  serve::FrontEndConfig fe;
+  fe.max_batch = opts.batch;
+  fe.flush_deadline_us = opts.flush_us;
+  fe.serve = cfg;
+  serve::ServingFrontEnd frontend(data, model, fe);
+  std::fprintf(stderr,
+               "snapshot ready (%u users x %u items, dim %zu%s), "
+               "front door: max_batch=%zu flush-us=%u\n",
+               frontend.current_snapshot()->num_users(),
+               frontend.current_snapshot()->num_items(),
+               frontend.current_snapshot()->dim(),
+               opts.quantize ? ", int8 catalog table" : "", fe.max_batch,
+               fe.flush_deadline_us);
+
+  std::vector<serve::TopKRequest> reqs;
+  size_t malformed = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    serve::TopKRequest req;
+    if (!ParseRequest(line, opts, data.num_users(), req)) {
+      ++malformed;
+      continue;
+    }
+    reqs.push_back(req);
+  }
+
+  const size_t producers =
+      std::max<size_t>(1, std::min(opts.producers, reqs.size()));
+  std::vector<std::future<serve::ServedResponse>> futures(reqs.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(producers);
+  for (size_t p = 0; p < producers; ++p) {
+    clients.emplace_back([&, p] {
+      // Strided slice: producer p submits requests p, p+P, p+2P, ...
+      for (size_t i = p; i < reqs.size(); i += producers) {
+        futures[i] = frontend.Submit(reqs[i]);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  std::vector<serve::TopKResponse> resps;
+  resps.reserve(reqs.size());
+  for (std::future<serve::ServedResponse>& fut : futures) {
+    resps.push_back(std::move(fut.get().topk));  // users/k pre-validated
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  PrintResponses(reqs, resps);
+  const serve::FrontEndStats st = frontend.stats();
+  std::fprintf(
+      stderr,
+      "served %zu requests from %zu producers in %.1f ms (%.0f req/s), "
+      "%zu malformed\n",
+      reqs.size(), producers, secs * 1000.0,
+      secs > 0.0 ? static_cast<double>(reqs.size()) / secs : 0.0, malformed);
+  std::fprintf(stderr,
+               "front door: %llu batches (%llu size / %llu deadline / "
+               "%llu drain flushes), largest batch %llu\n",
+               static_cast<unsigned long long>(st.batches),
+               static_cast<unsigned long long>(st.size_flushes),
+               static_cast<unsigned long long>(st.deadline_flushes),
+               static_cast<unsigned long long>(st.drain_flushes),
+               static_cast<unsigned long long>(st.max_batch_served));
+  return malformed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,12 +364,6 @@ int main(int argc, char** argv) {
   cfg.quantize = opts.quantize;
   cfg.candidate_margin = opts.margin;
   cfg.runtime.num_threads = opts.threads;
-  serve::InferenceService service(*data, *model, cfg);
-  std::fprintf(stderr, "snapshot ready (%u users x %u items, dim %zu%s)\n",
-               service.snapshot().num_users(), service.snapshot().num_items(),
-               service.snapshot().dim(),
-               opts.quantize ? ", int8 catalog table" : "");
-
   std::ifstream req_file;
   if (!opts.requests_file.empty()) {
     req_file.open(opts.requests_file);
@@ -265,6 +374,14 @@ int main(int argc, char** argv) {
     }
   }
   std::istream& in = opts.requests_file.empty() ? std::cin : req_file;
+
+  if (opts.concurrent) return ServeConcurrent(opts, *data, *model, cfg, in);
+
+  serve::InferenceService service(*data, *model, cfg);
+  std::fprintf(stderr, "snapshot ready (%u users x %u items, dim %zu%s)\n",
+               service.snapshot().num_users(), service.snapshot().num_items(),
+               service.snapshot().dim(),
+               opts.quantize ? ", int8 catalog table" : "");
 
   size_t served = 0, malformed = 0;
   double total_secs = 0.0;
