@@ -1,10 +1,27 @@
 // Inference-service bench: per-batch latency percentiles (p50/p99) and
-// request throughput for the sharded top-k scorer, exact fp32 scan vs
-// the int8 quantized two-phase scan (ServeConfig::quantize), across
-// batch sizes and 1 / 2 / hardware threads — plus the probe that gates
-// the exit code: quantized responses must be bit-identical to the
-// exact 1-thread baseline for every mode and worker count. Emits
-// machine-readable BENCH_serve.json into the working directory.
+// request throughput for the sharded top-k scorer across its four
+// serving modes — exact fp32 scan, int8 quantized two-phase scan
+// (ServeConfig::quantize), fp16 two-phase scan (ServeConfig::fp16),
+// and IVF approximate retrieval (ServeConfig::exact = false) — across
+// batch sizes and 1 / 2 / hardware threads. Probes gate the exit code:
+// quantized responses must be bit-identical to the exact 1-thread
+// baseline for every worker count; IVF responses must be bit-identical
+// across thread counts, shard grains, and batch packings (and equal the
+// exact scan outright at nprobe >= nlist with fp32 lists); fp16
+// responses must be bit-identical across thread counts and batch
+// packings at the fixed shard grain. Emits machine-readable
+// BENCH_serve.json into the working directory.
+//
+// An ANN tier sweeps (nlist, nprobe) and reports recall@k of each
+// point's response lists against the exact scorer's, plus req/s; the
+// headline is the fastest point clearing the 0.95 recall floor and its
+// speedup over the exact scan under the same harness. The embedding
+// tables are rewritten as clustered unit vectors (shared centers +
+// small Gaussian noise) before serving: random-init tables have no
+// neighborhood structure, so ANN recall on them measures noise rather
+// than the index, while clustered tables mirror the locality trained
+// embeddings have. Throughput and every bit-identity probe are
+// insensitive to the table values.
 //
 // A second, closed-loop tier drives the concurrent front door
 // (serve::ServingFrontEnd): N producer threads each keep exactly one
@@ -31,6 +48,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <unordered_map>
@@ -38,6 +56,7 @@
 
 #include "bench_util.h"
 #include "data/synthetic.h"
+#include "math/vec.h"
 #include "models/mf.h"
 #include "runtime/thread_pool.h"
 #include "serve/inference_service.h"
@@ -49,9 +68,19 @@ namespace {
 using namespace bslrec;  // NOLINT: bench-local convenience
 
 struct ServePoint {
-  const char* mode;  // "exact" | "quantized"
+  const char* mode;  // "exact" | "quantized" | "fp16" | "ivf"
   size_t threads;
   size_t batch;
+  double p50_ms;
+  double p99_ms;
+  double requests_per_sec;
+};
+
+// One (nlist, nprobe) sweep point of the ANN tier.
+struct AnnPoint {
+  uint32_t nlist;
+  uint32_t nprobe;
+  double recall_at_k;
   double p50_ms;
   double p99_ms;
   double requests_per_sec;
@@ -88,13 +117,46 @@ std::vector<serve::TopKRequest> MakeRequests(size_t count,
   return reqs;
 }
 
-serve::ServeConfig MakeConfig(uint32_t k, size_t threads, bool quantize) {
+serve::ServeConfig MakeConfig(uint32_t k, size_t threads, const char* mode) {
   serve::ServeConfig sc;
   sc.max_k = k;
   sc.cache_rankings = false;  // measure scoring, not cache hits
-  sc.quantize = quantize;
   sc.runtime.num_threads = threads;
+  if (std::strcmp(mode, "quantized") == 0) sc.quantize = true;
+  if (std::strcmp(mode, "fp16") == 0) sc.fp16 = true;
+  if (std::strcmp(mode, "ivf") == 0) sc.exact = false;  // auto nlist, nprobe 8
   return sc;
+}
+
+// Rewrites both embedding tables in place as `num_clusters` shared unit
+// centers plus small per-row Gaussian noise (noise L2 ~= 0.15 against
+// unit centers, split evenly across dimensions). Users then score their
+// own cluster's items far above the rest, giving the catalog the
+// neighborhood structure that makes the ANN tier's recall-vs-nprobe
+// curve meaningful. Call Forward() afterwards to refresh the served
+// embeddings.
+void ClusterEmbeddings(MfModel& model, size_t num_clusters, Rng& rng) {
+  std::vector<ParamGrad> params = model.Params();
+  const size_t dim = params[0].value->cols();
+  const float sigma = 0.15f / std::sqrt(static_cast<float>(dim));
+  std::vector<float> centers(num_clusters * dim);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    float* row = centers.data() + c * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      row[j] = static_cast<float>(rng.NextGaussian());
+    }
+    vec::Normalize(row, row, dim);
+  }
+  for (ParamGrad& pg : params) {
+    Matrix& m = *pg.value;
+    for (size_t r = 0; r < m.rows(); ++r) {
+      const float* center = centers.data() + rng.NextIndex(num_clusters) * dim;
+      float* row = m.Row(r);
+      for (size_t j = 0; j < dim; ++j) {
+        row[j] = center[j] + sigma * static_cast<float>(rng.NextGaussian());
+      }
+    }
+  }
 }
 
 // ---- closed-loop front-door load generator ----
@@ -200,17 +262,20 @@ int main() {
 
   Rng rng(5);
   MfModel model(data.num_users(), data.num_items(), dim, rng);
+  ClusterEmbeddings(model, cfg.num_clusters, rng);
   model.Forward(rng);
 
-  std::printf("serve bench%s: %u users, %u items, dim %zu, k %u\n",
+  std::printf("serve bench%s: %u users, %u items, dim %zu, k %u, "
+              "%zu embedding clusters\n",
               scale ? " [scale tier]" : "", data.num_users(),
-              data.num_items(), dim, k);
+              data.num_items(), dim, k,
+              static_cast<size_t>(cfg.num_clusters));
 
   std::vector<ServePoint> points;
   for (size_t threads : ThreadCounts()) {
-    for (const bool quantize : {false, true}) {
+    for (const char* mode : {"exact", "quantized", "fp16", "ivf"}) {
       serve::InferenceService service(data, model,
-                                      MakeConfig(k, threads, quantize));
+                                      MakeConfig(k, threads, mode));
       for (size_t batch : batch_sizes) {
         const std::vector<serve::TopKRequest> reqs =
             MakeRequests(batch * batches_per_point, data.num_users(), k, 31);
@@ -232,7 +297,7 @@ int main() {
         }
         std::sort(latencies_ms.begin(), latencies_ms.end());
         ServePoint p;
-        p.mode = quantize ? "quantized" : "exact";
+        p.mode = mode;
         p.threads = threads;
         p.batch = batch;
         p.p50_ms = Percentile(latencies_ms, 0.50);
@@ -256,7 +321,10 @@ int main() {
     for (const ServePoint& p : points) {
       if (p.threads == ThreadCounts().back() &&
           p.batch == batch_sizes.back()) {
-        (p.mode[0] == 'e' ? exact_rps : quant_rps) = p.requests_per_sec;
+        if (std::strcmp(p.mode, "exact") == 0) exact_rps = p.requests_per_sec;
+        if (std::strcmp(p.mode, "quantized") == 0) {
+          quant_rps = p.requests_per_sec;
+        }
       }
     }
     if (exact_rps > 0.0) speedup_at_hw = quant_rps / exact_rps;
@@ -281,18 +349,18 @@ int main() {
   {
     const std::vector<serve::TopKRequest> probe =
         MakeRequests(scale ? 32 : 64, data.num_users(), k, 97);
-    serve::InferenceService baseline(data, model, MakeConfig(k, 1, false));
+    serve::InferenceService baseline(data, model, MakeConfig(k, 1, "exact"));
     const auto want = baseline.HandleBatch(probe);
     for (size_t threads : ThreadCounts()) {
-      for (const bool quantize : {false, true}) {
+      for (const char* mode : {"exact", "quantized"}) {
         serve::InferenceService service(data, model,
-                                        MakeConfig(k, threads, quantize));
+                                        MakeConfig(k, threads, mode));
         const auto got = service.HandleBatch(probe);
         for (size_t r = 0; r < probe.size(); ++r) {
           identical = identical && got[r].items == want[r].items &&
                       got[r].scores == want[r].scores;
         }
-        if (quantize) {
+        if (std::strcmp(mode, "quantized") == 0) {
           const serve::CatalogScorer::Stats st = service.scorer().stats();
           quant_stats.shards_scanned += st.shards_scanned;
           quant_stats.shards_fallback += st.shards_fallback;
@@ -306,6 +374,215 @@ int main() {
               static_cast<unsigned long long>(quant_stats.shards_scanned),
               static_cast<unsigned long long>(quant_stats.shards_fallback));
 
+  // ---- ANN determinism probes (gate the exit code) ----
+  // IVF responses are a pure function of (snapshot, request): the
+  // per-query probe/scan/re-rank kernel is serial and the pool only
+  // parallelizes across queries, so thread count, shard grain (unused
+  // in ANN mode), and batch packing must not move a bit. And with fp32
+  // lists and nprobe >= nlist the "approximation" visits the whole
+  // catalog, so it must reproduce the exact scan outright.
+  bool ann_identical = true;
+  {
+    const std::vector<serve::TopKRequest> probe =
+        MakeRequests(scale ? 32 : 64, data.num_users(), k, 131);
+    const uint32_t probe_nlist = 16;
+    const auto ann_cfg = [&](size_t threads, uint32_t grain,
+                             uint32_t nprobe) {
+      serve::ServeConfig sc = MakeConfig(k, threads, "ivf");
+      sc.ivf.nlist = probe_nlist;
+      sc.nprobe = nprobe;
+      sc.items_per_shard = grain;
+      return sc;
+    };
+    serve::InferenceService baseline(data, model, ann_cfg(1, 2048, 4));
+    const auto want = baseline.HandleBatch(probe);
+    for (size_t threads : ThreadCounts()) {
+      for (uint32_t grain : {512u, 2048u}) {
+        serve::InferenceService service(data, model,
+                                        ann_cfg(threads, grain, 4));
+        const auto whole = service.HandleBatch(probe);
+        for (size_t r = 0; r < probe.size(); ++r) {
+          ann_identical = ann_identical && SameResponse(whole[r], want[r]);
+          // Re-serve one-by-one: batch packing must not matter either.
+          ann_identical = ann_identical &&
+                          SameResponse(service.Handle(probe[r]), want[r]);
+        }
+      }
+    }
+    serve::InferenceService exact_ref(data, model, MakeConfig(k, 1, "exact"));
+    const auto exact_want = exact_ref.HandleBatch(probe);
+    serve::InferenceService full_probe(
+        data, model, ann_cfg(ThreadCounts().back(), 2048, probe_nlist));
+    const auto full = full_probe.HandleBatch(probe);
+    for (size_t r = 0; r < probe.size(); ++r) {
+      ann_identical = ann_identical && SameResponse(full[r], exact_want[r]);
+    }
+  }
+  std::printf("ivf bit-identical across threads/grains/batching and "
+              "full-probe == exact: %s\n",
+              ann_identical ? "yes" : "NO — BUG");
+
+  // fp16 candidate sets depend on the shard grain (topk_scorer.h), so
+  // the grain stays fixed here: at a fixed grain the fp16 scan must be
+  // bit-identical across thread counts and batch packings.
+  bool fp16_identical = true;
+  {
+    const std::vector<serve::TopKRequest> probe =
+        MakeRequests(scale ? 32 : 64, data.num_users(), k, 137);
+    serve::InferenceService baseline(data, model, MakeConfig(k, 1, "fp16"));
+    const auto want = baseline.HandleBatch(probe);
+    for (size_t threads : ThreadCounts()) {
+      serve::InferenceService service(data, model,
+                                      MakeConfig(k, threads, "fp16"));
+      const auto whole = service.HandleBatch(probe);
+      for (size_t r = 0; r < probe.size(); ++r) {
+        fp16_identical = fp16_identical && SameResponse(whole[r], want[r]);
+        fp16_identical = fp16_identical &&
+                         SameResponse(service.Handle(probe[r]), want[r]);
+      }
+    }
+  }
+  std::printf("fp16 bit-identical across threads/batching: %s\n",
+              fp16_identical ? "yes" : "NO — BUG");
+
+  // ---- ANN tier: (nlist, nprobe) sweep, recall@k vs exact ----
+  // Each point serves the same request stream as an exact reference run
+  // under the same harness (hw threads, fixed batch); recall@k is the
+  // mean fraction of the exact top-k reproduced per response. The
+  // headline is the fastest point clearing the 0.95 recall floor (the
+  // CI gate); if nothing clears it — which would itself be a finding —
+  // the highest-recall point is reported so the floor check fails
+  // loudly rather than on a missing key.
+  std::vector<AnnPoint> ann_points;
+  double ann_exact_rps = 0.0;
+  double ann_recall = 0.0;
+  double ann_speedup = 0.0;
+  uint32_t ann_headline_nlist = 0;
+  uint32_t ann_headline_nprobe = 0;
+  serve::CatalogScorer::Stats ivf_stats;
+  {
+    const size_t hw = ThreadCounts().back();
+    const size_t ann_batch = 64;
+    const size_t ann_batches = scale ? 8 : (fast ? 2 : 4);
+    const std::vector<serve::TopKRequest> reqs =
+        MakeRequests(ann_batch * ann_batches, data.num_users(), k, 211);
+    const auto run_stream = [&](serve::InferenceService& service,
+                                std::vector<serve::TopKResponse>& responses,
+                                double& p50_ms, double& p99_ms) {
+      responses.clear();
+      responses.reserve(reqs.size());
+      service.HandleBatch({reqs.data(), ann_batch});  // warm-up
+      std::vector<double> lat;
+      lat.reserve(ann_batches);
+      double total_secs = 0.0;
+      for (size_t b = 0; b < ann_batches; ++b) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto out = service.HandleBatch({reqs.data() + b * ann_batch,
+                                        ann_batch});
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        lat.push_back(secs * 1000.0);
+        total_secs += secs;
+        for (serve::TopKResponse& resp : out) {
+          responses.push_back(std::move(resp));
+        }
+      }
+      std::sort(lat.begin(), lat.end());
+      p50_ms = Percentile(lat, 0.50);
+      p99_ms = Percentile(lat, 0.99);
+      return total_secs > 0.0
+                 ? static_cast<double>(reqs.size()) / total_secs
+                 : 0.0;
+    };
+    std::vector<serve::TopKResponse> exact_resps;
+    {
+      serve::InferenceService exact_service(data, model,
+                                            MakeConfig(k, hw, "exact"));
+      double p50 = 0.0, p99 = 0.0;
+      ann_exact_rps = run_stream(exact_service, exact_resps, p50, p99);
+    }
+    std::printf("ann sweep: %zu requests, exact reference %.0f req/s\n",
+                reqs.size(), ann_exact_rps);
+    const std::vector<uint32_t> nlists =
+        scale ? std::vector<uint32_t>{64, 256}
+              : (fast ? std::vector<uint32_t>{8, 16}
+                      : std::vector<uint32_t>{16, 32});
+    for (uint32_t nlist : nlists) {
+      for (uint32_t nprobe : {1u, 2u, 4u, 8u, 16u}) {
+        if (nprobe > nlist) continue;
+        serve::ServeConfig sc = MakeConfig(k, hw, "ivf");
+        sc.ivf.nlist = nlist;
+        sc.nprobe = nprobe;
+        serve::InferenceService service(data, model, sc);
+        std::vector<serve::TopKResponse> resps;
+        AnnPoint p;
+        p.nlist = nlist;
+        p.nprobe = nprobe;
+        p.requests_per_sec = run_stream(service, resps, p.p50_ms, p.p99_ms);
+        double recall_sum = 0.0;
+        size_t counted = 0;
+        for (size_t r = 0; r < reqs.size(); ++r) {
+          std::vector<uint32_t> truth = exact_resps[r].items;
+          if (truth.empty()) continue;
+          std::sort(truth.begin(), truth.end());
+          size_t hits = 0;
+          for (const uint32_t item : resps[r].items) {
+            hits += std::binary_search(truth.begin(), truth.end(), item)
+                        ? 1
+                        : 0;
+          }
+          recall_sum += static_cast<double>(hits) /
+                        static_cast<double>(truth.size());
+          ++counted;
+        }
+        p.recall_at_k =
+            counted > 0 ? recall_sum / static_cast<double>(counted) : 1.0;
+        const serve::CatalogScorer::Stats st = service.scorer().stats();
+        ivf_stats.ivf_queries += st.ivf_queries;
+        ivf_stats.ivf_lists += st.ivf_lists;
+        ivf_stats.ivf_candidates += st.ivf_candidates;
+        ivf_stats.ivf_reranked += st.ivf_reranked;
+        ann_points.push_back(p);
+        std::printf(
+            "ivf nlist=%-4u nprobe=%-3u  recall@%u %.4f  p50 %.3f ms  "
+            "p99 %.3f ms  %.0f req/s (%.2fx exact)\n",
+            p.nlist, p.nprobe, k, p.recall_at_k, p.p50_ms, p.p99_ms,
+            p.requests_per_sec,
+            ann_exact_rps > 0.0 ? p.requests_per_sec / ann_exact_rps : 0.0);
+      }
+    }
+    const double kRecallFloor = 0.95;
+    const AnnPoint* headline = nullptr;
+    for (const AnnPoint& p : ann_points) {
+      if (p.recall_at_k >= kRecallFloor &&
+          (headline == nullptr ||
+           p.requests_per_sec > headline->requests_per_sec)) {
+        headline = &p;
+      }
+    }
+    if (headline == nullptr) {
+      for (const AnnPoint& p : ann_points) {
+        if (headline == nullptr || p.recall_at_k > headline->recall_at_k) {
+          headline = &p;
+        }
+      }
+    }
+    if (headline != nullptr) {
+      ann_recall = headline->recall_at_k;
+      ann_speedup = ann_exact_rps > 0.0
+                        ? headline->requests_per_sec / ann_exact_rps
+                        : 0.0;
+      ann_headline_nlist = headline->nlist;
+      ann_headline_nprobe = headline->nprobe;
+      std::printf(
+          "ann headline: nlist=%u nprobe=%u  recall@%u %.4f  "
+          "%.2fx exact req/s\n",
+          ann_headline_nlist, ann_headline_nprobe, k, ann_recall,
+          ann_speedup);
+    }
+  }
+
   // ---- concurrent front door: closed-loop load at N producers ----
   // Every response is compared bit-for-bit against the synchronous
   // path (InferenceService::Handle on the same model) — queueing and
@@ -313,7 +590,7 @@ int main() {
   serve::FrontEndConfig fe_cfg;
   fe_cfg.max_batch = 16;
   fe_cfg.flush_deadline_us = 200;
-  fe_cfg.serve = MakeConfig(k, 0, false);  // hw threads, exact scan
+  fe_cfg.serve = MakeConfig(k, 0, "exact");  // hw threads, exact scan
   const std::vector<size_t> producer_counts =
       fast ? std::vector<size_t>{1, 2, 4} : std::vector<size_t>{1, 2, 4, 8};
   const size_t reqs_per_producer = scale ? 40 : (fast ? 30 : 120);
@@ -322,7 +599,7 @@ int main() {
   std::vector<FrontEndPoint> fe_points;
   {
     serve::InferenceService sync_baseline(data, model,
-                                          MakeConfig(k, 1, false));
+                                          MakeConfig(k, 1, "exact"));
     std::printf("front door: max_batch=%zu flush_deadline_us=%u "
                 "(closed loop, %zu reqs/producer)\n",
                 fe_cfg.max_batch, fe_cfg.flush_deadline_us,
@@ -450,7 +727,8 @@ int main() {
     std::printf("train-and-serve responses match their snapshot: %s\n",
                 trainserve_matched ? "yes" : "NO — BUG");
   }
-  identical = identical && frontdoor_identical && trainserve_matched;
+  identical = identical && ann_identical && fp16_identical &&
+              frontdoor_identical && trainserve_matched;
 
   // ---- machine-readable output ----
   FILE* out = bench::BeginBenchJson("BENCH_serve.json");
@@ -477,6 +755,36 @@ int main() {
                "\"exact_fallbacks\": %llu},\n",
                static_cast<unsigned long long>(quant_stats.shards_scanned),
                static_cast<unsigned long long>(quant_stats.shards_fallback));
+  std::fprintf(out,
+               "  \"ann\": {\"k\": %u, \"exact_requests_per_sec\": %.1f, "
+               "\"points\": [\n",
+               k, ann_exact_rps);
+  for (size_t i = 0; i < ann_points.size(); ++i) {
+    const AnnPoint& p = ann_points[i];
+    std::fprintf(out,
+                 "    {\"nlist\": %u, \"nprobe\": %u, "
+                 "\"recall_at_k\": %.4f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"requests_per_sec\": %.1f}%s\n",
+                 p.nlist, p.nprobe, p.recall_at_k, p.p50_ms, p.p99_ms,
+                 p.requests_per_sec, i + 1 < ann_points.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ], \"recall_at_k\": %.4f, \"speedup_vs_exact\": %.3f, "
+               "\"headline_nlist\": %u, \"headline_nprobe\": %u,\n",
+               ann_recall, ann_speedup, ann_headline_nlist,
+               ann_headline_nprobe);
+  std::fprintf(out,
+               "  \"probe_scan\": {\"queries\": %llu, \"lists\": %llu, "
+               "\"candidates\": %llu, \"reranked\": %llu},\n",
+               static_cast<unsigned long long>(ivf_stats.ivf_queries),
+               static_cast<unsigned long long>(ivf_stats.ivf_lists),
+               static_cast<unsigned long long>(ivf_stats.ivf_candidates),
+               static_cast<unsigned long long>(ivf_stats.ivf_reranked));
+  std::fprintf(out,
+               "  \"determinism\": {\"ivf_bit_identical\": %s, "
+               "\"fp16_bit_identical\": %s}},\n",
+               ann_identical ? "true" : "false",
+               fp16_identical ? "true" : "false");
   std::fprintf(out,
                "  \"frontend\": {\"max_batch\": %zu, "
                "\"flush_deadline_us\": %u, \"points\": [\n",

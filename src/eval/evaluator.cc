@@ -42,11 +42,23 @@ Evaluator::Evaluator(const Dataset& data, uint32_t k,
   BSLREC_CHECK(pool != nullptr);
 }
 
+namespace {
+
+serve::SnapshotOptions SnapshotOptionsForScoring(
+    const serve::ScorerOptions& scoring) {
+  serve::SnapshotOptions so;
+  so.quantize_items = scoring.quantize;
+  so.fp16_items = scoring.fp16;
+  so.ivf.build = !scoring.exact;
+  return so;
+}
+
+}  // namespace
+
 Evaluator::Pass::Pass(const Evaluator& eval, const EmbeddingModel& model)
     : Pass(eval, std::make_shared<const serve::ModelSnapshot>(
                      model, *eval.pool_,
-                     serve::SnapshotOptions{.quantize_items =
-                                                eval.scoring_.quantize})) {}
+                     SnapshotOptionsForScoring(eval.scoring_))) {}
 
 Evaluator::Pass::Pass(const Evaluator& eval,
                       std::shared_ptr<const serve::ModelSnapshot> snapshot)
@@ -61,7 +73,14 @@ Evaluator::Pass::Pass(const Evaluator& eval,
       !eval_.scoring_.quantize || snapshot_->has_quantized_items(),
       "quantized evaluator pass needs a snapshot built with "
       "SnapshotOptions::quantize_items");
-  if (!eval_.scoring_.quantize) {
+  BSLREC_CHECK_MSG(!eval_.scoring_.fp16 || snapshot_->has_fp16_items(),
+                   "fp16 evaluator pass needs a snapshot built with "
+                   "SnapshotOptions::fp16_items");
+  BSLREC_CHECK_MSG(eval_.scoring_.exact || snapshot_->ivf() != nullptr,
+                   "approximate (exact = false) evaluator pass needs a "
+                   "snapshot built with SnapshotOptions::ivf.build");
+  if (eval_.scoring_.exact && !eval_.scoring_.quantize &&
+      !eval_.scoring_.fp16) {
     for (WorkerScratch& ws : scratch_) {
       ws.scores.resize(eval_.data_.num_items());
     }
@@ -73,17 +92,41 @@ void Evaluator::Pass::ScoreUser(uint32_t user, WorkerScratch& ws) {
                         snapshot_->num_items(), ws.scores.data());
 }
 
+namespace {
+
+std::vector<uint32_t> ItemsOf(const std::vector<serve::ScoredItem>& top) {
+  std::vector<uint32_t> items(top.size());
+  for (size_t i = 0; i < top.size(); ++i) items[i] = top[i].item;
+  return items;
+}
+
+}  // namespace
+
 std::vector<uint32_t> Evaluator::Pass::RankUser(uint32_t user, uint32_t k,
                                                 WorkerScratch& ws) {
-  if (eval_.scoring_.quantize) {
-    // Certified two-phase scan, serial per user (the surrounding user
-    // loop is the parallel axis). Bit-identical to the exact branch.
-    const std::vector<serve::ScoredItem> top = serve::QuantizedCatalogTopK(
+  // All non-exact branches run serially per user (the surrounding user
+  // loop is the parallel axis), so the approximate metrics are still
+  // bit-identical for any worker count.
+  if (!eval_.scoring_.exact) {
+    // ANN through the snapshot's IVF index: approximate candidate set,
+    // exact top-k over it. This is the *approximate evaluation pass* —
+    // its metrics measure exactly what ANN serving would ship.
+    return ItemsOf(serve::IvfCatalogTopK(
         *snapshot_, snapshot_->UserVec(user), k, eval_.data_.TrainItems(user),
-        eval_.scoring_, ws.qscan);
-    std::vector<uint32_t> items(top.size());
-    for (size_t i = 0; i < top.size(); ++i) items[i] = top[i].item;
-    return items;
+        eval_.scoring_, ws.qscan));
+  }
+  if (eval_.scoring_.quantize) {
+    // Certified two-phase scan — bit-identical to the exact branch.
+    return ItemsOf(serve::QuantizedCatalogTopK(
+        *snapshot_, snapshot_->UserVec(user), k, eval_.data_.TrainItems(user),
+        eval_.scoring_, ws.qscan));
+  }
+  if (eval_.scoring_.fp16) {
+    // Certification-free fp16 scan (approximate candidates, exact
+    // scores for what it returns).
+    return ItemsOf(serve::F16CatalogTopK(
+        *snapshot_, snapshot_->UserVec(user), k, eval_.data_.TrainItems(user),
+        eval_.scoring_, ws.qscan));
   }
   ScoreUser(user, ws);
   return eval_.RankTopK(ws.scores, user, k);

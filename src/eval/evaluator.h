@@ -28,6 +28,19 @@
 // then a background AsyncEvaluator scores it on a different pool —
 // and because ranking is thread-count invariant, the metrics are
 // bit-identical to a synchronous pass over the same snapshot.
+//
+// The `scoring` options select the ranking kernel per pass:
+//   * default — exact full-catalog scan;
+//   * `quantize` — certified int8 two-phase scan, metrics bit-identical
+//     to exact;
+//   * `fp16` — certification-free fp16 two-phase scan (approximate
+//     candidate sets);
+//   * `exact = false` — ANN through the snapshot's IVF index at
+//     `nprobe` probes: the *approximate evaluation pass*, measuring
+//     exactly the lists ANN serving would return (with nprobe >= nlist
+//     it degenerates to the exact metrics bitwise).
+// Every branch runs serially per user inside the parallel user loop,
+// so all metric variants are bit-identical for any worker count.
 #ifndef BSLREC_EVAL_EVALUATOR_H_
 #define BSLREC_EVAL_EVALUATOR_H_
 
@@ -103,7 +116,7 @@ class Evaluator {
 
     struct WorkerScratch {
       std::vector<float> scores;  // one score per catalog item (exact)
-      serve::ShardScratch qscan;  // quantized-path buffers
+      serve::ShardScratch qscan;  // quantized / fp16 / ivf buffers
     };
 
     // Scores all items for `user` into ws.scores.

@@ -12,8 +12,7 @@ InferenceService::InferenceService(const Dataset& data,
     : config_(config),
       pool_(std::make_unique<runtime::ThreadPool>(
           config.runtime.num_threads)),
-      snapshot_(model, *pool_,
-                SnapshotOptions{.quantize_items = config.quantize}),
+      snapshot_(model, *pool_, SnapshotOptionsFor(config)),
       engine_(std::make_unique<RankingEngine>(data, snapshot_, *pool_,
                                               config)) {
   BSLREC_CHECK(data.num_users() == model.num_users());

@@ -28,6 +28,24 @@ TopKResponse ToResponse(std::span<const ScoredItem> ranking, uint32_t k) {
 
 }  // namespace
 
+SnapshotOptions SnapshotOptionsFor(const ServeConfig& config) {
+  SnapshotOptions so;
+  so.quantize_items = config.quantize;
+  so.fp16_items = config.fp16;
+  so.ivf = config.ivf;
+  if (!config.exact) so.ivf.build = true;
+  return so;
+}
+
+ScorerOptions ScorerOptionsFor(const ServeConfig& config) {
+  return ScorerOptions{.items_per_shard = config.items_per_shard,
+                       .quantize = config.quantize,
+                       .candidate_margin = config.candidate_margin,
+                       .fp16 = config.fp16,
+                       .exact = config.exact,
+                       .nprobe = config.nprobe};
+}
+
 RankingEngine::RankingEngine(const Dataset& data,
                              const ModelSnapshot& snapshot,
                              runtime::ThreadPool& pool,
@@ -35,10 +53,7 @@ RankingEngine::RankingEngine(const Dataset& data,
     : data_(data),
       config_(config),
       snapshot_(snapshot),
-      scorer_(snapshot, pool,
-              ScorerOptions{.items_per_shard = config.items_per_shard,
-                            .quantize = config.quantize,
-                            .candidate_margin = config.candidate_margin}),
+      scorer_(snapshot, pool, ScorerOptionsFor(config)),
       cache_valid_(config.cache_rankings ? data.num_users() : 0,
                    kCacheAbsent),
       cache_(config.cache_rankings ? data.num_users() : 0) {

@@ -62,8 +62,26 @@ struct ServeConfig {
   bool quantize = false;
   // Extra phase-1 candidates per shard beyond each request's k.
   uint32_t candidate_margin = kDefaultCandidateMargin;
+  // Build an fp16 item table at snapshot time and serve through the
+  // certification-free fp16 two-phase scan (mutually exclusive with
+  // quantize). Candidate sets are approximate; returned scores exact.
+  bool fp16 = false;
+  // With exact = false, serve through the snapshot's IVF index (built
+  // automatically): probe the top-nprobe coarse lists and exact fp32
+  // re-rank the gathered candidates. See topk_scorer.h.
+  bool exact = true;
+  uint32_t nprobe = kDefaultNprobe;
+  // Index shape for ANN serving (ivf.build is forced on when !exact;
+  // set it directly to build the index without serving through it).
+  IvfBuildOptions ivf;
   runtime::RuntimeConfig runtime;
 };
+
+// The snapshot/scorer option sets a ServeConfig implies — shared by
+// every serving entry point (InferenceService, ServingFrontEnd, tools,
+// benches) so they all freeze and score identically.
+SnapshotOptions SnapshotOptionsFor(const ServeConfig& config);
+ScorerOptions ScorerOptionsFor(const ServeConfig& config);
 
 struct TopKRequest {
   uint32_t user = 0;

@@ -28,9 +28,8 @@ ServingFrontEnd::ServingFrontEnd(const Dataset& data,
   // The dispatcher has not started, so the constructing thread is the
   // pool's sole driver here — the one place besides the dispatcher
   // allowed to use it.
-  Init(std::make_shared<const ModelSnapshot>(
-      model, pool_,
-      SnapshotOptions{.quantize_items = config.serve.quantize}));
+  Init(std::make_shared<const ModelSnapshot>(model, pool_,
+                                             SnapshotOptionsFor(config.serve)));
 }
 
 void ServingFrontEnd::Init(std::shared_ptr<const ModelSnapshot> snapshot) {

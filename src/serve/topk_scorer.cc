@@ -156,6 +156,161 @@ void QuantizedShardTopK(const ModelSnapshot& snapshot,
   SelectTopKInto(ws.scores.data(), lo, hi, k, exclude, ws.cand, out);
 }
 
+void F16ShardTopK(const ModelSnapshot& snapshot, const float* q_hat,
+                  uint32_t lo, uint32_t hi, uint32_t k,
+                  uint32_t candidate_margin, std::span<const uint32_t> exclude,
+                  ShardScratch& ws, std::vector<ScoredItem>& out) {
+  const size_t d = snapshot.dim();
+  const uint32_t m = hi - lo;
+  ++ws.fp16_shards;
+
+  // Phase 1: fp16 scan of the shard (half the fp32 memory traffic),
+  // then the top c = k + margin eligible items by fp16 score.
+  ws.scores.resize(m);
+  vec::DotBatchF16(q_hat, snapshot.ItemF16(lo), m, d, ws.scores.data());
+  const uint32_t c = k > UINT32_MAX - candidate_margin ? UINT32_MAX
+                                                       : k + candidate_margin;
+  const size_t cc = SortTopCandidates(ws.scores.data(), lo, hi, c, exclude,
+                                      ws.cand);
+  // Phase 2: exact fp32 re-rank of just those candidates. No
+  // certification — items below the fp16 cutoff stay invisible (see the
+  // header note); every returned score is still the exact cosine.
+  for (size_t j = 0; j < cc; ++j) {
+    ws.cand[j].score = vec::Dot(q_hat, snapshot.ItemVec(ws.cand[j].item), d);
+  }
+  const size_t kk = std::min<size_t>(k, cc);
+  std::partial_sort(ws.cand.begin(), ws.cand.begin() + static_cast<long>(kk),
+                    ws.cand.begin() + static_cast<long>(cc), ScoredBefore);
+  out.assign(ws.cand.begin(), ws.cand.begin() + static_cast<long>(kk));
+}
+
+std::vector<ScoredItem> F16CatalogTopK(const ModelSnapshot& snapshot,
+                                       const float* q_hat, uint32_t k,
+                                       std::span<const uint32_t> exclude,
+                                       const ScorerOptions& options,
+                                       ShardScratch& ws) {
+  const uint32_t n = snapshot.num_items();
+  ws.merge.clear();
+  for (uint32_t lo = 0; lo < n; lo += options.items_per_shard) {
+    const uint32_t hi = std::min<uint32_t>(n, lo + options.items_per_shard);
+    F16ShardTopK(snapshot, q_hat, lo, hi, k, options.candidate_margin,
+                 exclude, ws, ws.shard_out);
+    ws.merge.insert(ws.merge.end(), ws.shard_out.begin(), ws.shard_out.end());
+  }
+  const size_t kk = std::min<size_t>(k, ws.merge.size());
+  std::partial_sort(ws.merge.begin(),
+                    ws.merge.begin() + static_cast<long>(kk), ws.merge.end(),
+                    ScoredBefore);
+  return std::vector<ScoredItem>(ws.merge.begin(),
+                                 ws.merge.begin() + static_cast<long>(kk));
+}
+
+void IvfTopKInto(const ModelSnapshot& snapshot, const float* q_hat,
+                 uint32_t k, std::span<const uint32_t> exclude,
+                 const ScorerOptions& options, ShardScratch& ws,
+                 std::vector<ScoredItem>& out) {
+  const IvfIndex* ivf = snapshot.ivf();
+  BSLREC_CHECK_MSG(ivf != nullptr,
+                   "ANN scoring needs a snapshot built with "
+                   "SnapshotOptions::ivf.build");
+  const size_t d = snapshot.dim();
+  const uint32_t nlist = ivf->nlist();
+  ++ws.ivf_queries;
+  out.clear();
+  if (nlist == 0 || k == 0) return;
+
+  // 1. Score every centroid with one fused scan, then pick the
+  // top-nprobe lists under (score desc, centroid id asc).
+  const uint32_t nprobe =
+      std::min<uint32_t>(std::max<uint32_t>(options.nprobe, 1), nlist);
+  ws.scores.resize(nlist);
+  vec::DotBatch(q_hat, ivf->Centroids(), nlist, d, ws.scores.data());
+  SelectTopKInto(ws.scores.data(), 0, nlist, nprobe, {}, ws.cand, ws.probes);
+
+  // 2. Gather eligible candidates from the probed lists. Candidates
+  // carry their grouped *position* in `item` until the final sort so
+  // phase 2 can read the index's contiguous rows.
+  const bool two_phase = options.quantize || options.fp16;
+  float q_scale = 0.0f;
+  if (options.quantize) {
+    ws.q_codes.resize(d);
+    q_scale = vec::QuantizeRow(q_hat, d, ws.q_codes.data());
+  }
+  ws.approx.clear();
+  for (const ScoredItem& probe : ws.probes) {
+    ++ws.ivf_lists;
+    const uint32_t begin = ivf->ListOffset(probe.item);
+    const uint32_t end = ivf->ListOffset(probe.item + 1);
+    if (begin == end) continue;  // empty list
+    const uint32_t m = end - begin;
+    ws.scores.resize(m);
+    if (options.quantize) {
+      ws.idot.resize(m);
+      vec::DotBatchI8(ws.q_codes.data(), ivf->Codes(begin), m, d,
+                      ws.idot.data());
+      for (uint32_t j = 0; j < m; ++j) {
+        ws.scores[j] = static_cast<float>(ws.idot[j]) *
+                       (q_scale * ivf->Scale(begin + j));
+      }
+    } else if (options.fp16) {
+      vec::DotBatchF16(q_hat, ivf->F16(begin), m, d, ws.scores.data());
+    } else {
+      vec::DotBatch(q_hat, ivf->Row(begin), m, d, ws.scores.data());
+    }
+    // Exclusion merge: list ids and the exclude span are both sorted
+    // ascending, so one forward walk per list suffices.
+    const uint32_t* ids = ivf->ItemIds(begin);
+    auto ex = std::lower_bound(exclude.begin(), exclude.end(), ids[0]);
+    for (uint32_t j = 0; j < m; ++j) {
+      const uint32_t id = ids[j];
+      while (ex != exclude.end() && *ex < id) ++ex;
+      if (ex != exclude.end() && *ex == id) continue;
+      ws.approx.push_back({begin + j, ws.scores[j]});
+    }
+  }
+  ws.ivf_candidates += ws.approx.size();
+
+  // 3. Two-phase modes: keep the top c = k + margin of the whole
+  // candidate pool by approximate score (position tie-break — a fixed
+  // property of the index, so still deterministic), then exact fp32
+  // re-rank the survivors. fp32 mode scored exactly already.
+  size_t cc = ws.approx.size();
+  if (two_phase) {
+    const uint32_t c = k > UINT32_MAX - options.candidate_margin
+                           ? UINT32_MAX
+                           : k + options.candidate_margin;
+    cc = std::min<size_t>(c, ws.approx.size());
+    std::partial_sort(ws.approx.begin(),
+                      ws.approx.begin() + static_cast<long>(cc),
+                      ws.approx.end(), ScoredBefore);
+    for (size_t j = 0; j < cc; ++j) {
+      ws.approx[j].score = vec::Dot(q_hat, ivf->Row(ws.approx[j].item), d);
+    }
+    ws.ivf_reranked += cc;
+  }
+
+  // 4. Map positions back to item ids, then the final top-k under the
+  // strict (score desc, id asc) total order.
+  for (size_t j = 0; j < cc; ++j) {
+    ws.approx[j].item = ivf->ItemIdAt(ws.approx[j].item);
+  }
+  const size_t kk = std::min<size_t>(k, cc);
+  std::partial_sort(ws.approx.begin(),
+                    ws.approx.begin() + static_cast<long>(kk),
+                    ws.approx.begin() + static_cast<long>(cc), ScoredBefore);
+  out.assign(ws.approx.begin(), ws.approx.begin() + static_cast<long>(kk));
+}
+
+std::vector<ScoredItem> IvfCatalogTopK(const ModelSnapshot& snapshot,
+                                       const float* q_hat, uint32_t k,
+                                       std::span<const uint32_t> exclude,
+                                       const ScorerOptions& options,
+                                       ShardScratch& ws) {
+  std::vector<ScoredItem> out;
+  IvfTopKInto(snapshot, q_hat, k, exclude, options, ws, out);
+  return out;
+}
+
 std::vector<ScoredItem> QuantizedCatalogTopK(const ModelSnapshot& snapshot,
                                              const float* q_hat, uint32_t k,
                                              std::span<const uint32_t> exclude,
@@ -219,15 +374,43 @@ CatalogScorer::CatalogScorer(const ModelSnapshot& snapshot,
   BSLREC_CHECK_MSG(!options.quantize || snapshot.has_quantized_items(),
                    "ScorerOptions::quantize requires a snapshot built with "
                    "SnapshotOptions::quantize_items");
+  BSLREC_CHECK_MSG(!options.fp16 || snapshot.has_fp16_items(),
+                   "ScorerOptions::fp16 requires a snapshot built with "
+                   "SnapshotOptions::fp16_items");
+  BSLREC_CHECK_MSG(!(options.quantize && options.fp16),
+                   "ScorerOptions::quantize and fp16 are mutually exclusive "
+                   "phase-1 representations");
+  BSLREC_CHECK_MSG(options.exact || snapshot.ivf() != nullptr,
+                   "ScorerOptions::exact = false requires a snapshot built "
+                   "with SnapshotOptions::ivf.build");
 }
 
 CatalogScorer::Stats CatalogScorer::stats() const {
   Stats s;
   for (const ShardScratch& ws : scratch_) {
+    s.exact_shards += ws.exact_shards;
     s.shards_scanned += ws.shards_scanned;
     s.shards_fallback += ws.shards_fallback;
+    s.fp16_shards += ws.fp16_shards;
+    s.ivf_queries += ws.ivf_queries;
+    s.ivf_lists += ws.ivf_lists;
+    s.ivf_candidates += ws.ivf_candidates;
+    s.ivf_reranked += ws.ivf_reranked;
   }
   return s;
+}
+
+void CatalogScorer::ResetStats() const {
+  for (ShardScratch& ws : scratch_) {
+    ws.exact_shards = 0;
+    ws.shards_scanned = 0;
+    ws.shards_fallback = 0;
+    ws.fp16_shards = 0;
+    ws.ivf_queries = 0;
+    ws.ivf_lists = 0;
+    ws.ivf_candidates = 0;
+    ws.ivf_reranked = 0;
+  }
 }
 
 std::vector<ScoredItem> CatalogScorer::TopK(const ScoreQuery& query) const {
@@ -241,7 +424,25 @@ std::vector<std::vector<ScoredItem>> CatalogScorer::BatchTopK(
   const size_t num_shards =
       (static_cast<size_t>(n) + items_per_shard - 1) / items_per_shard;
   std::vector<std::vector<ScoredItem>> out(queries.size());
-  if (queries.empty() || num_shards == 0) return out;
+  if (queries.empty()) return out;
+
+  if (!options_.exact) {
+    // ANN: each query is one serial probe/scan/re-rank unit writing its
+    // own output slot; the pool only fans out *across* queries, so the
+    // responses are bit-identical for any thread count, shard grain
+    // (unused here), or batch packing.
+    runtime::ParallelFor(
+        pool_, 0, queries.size(), 1,
+        [&](size_t lo, size_t hi, size_t /*shard*/, size_t worker) {
+          ShardScratch& ws = scratch_[worker];
+          for (size_t qi = lo; qi < hi; ++qi) {
+            IvfTopKInto(snapshot_, queries[qi].q_hat, queries[qi].k,
+                        queries[qi].exclude, options_, ws, out[qi]);
+          }
+        });
+    return out;
+  }
+  if (num_shards == 0) return out;
 
   const size_t d = snapshot_.dim();
   if (options_.quantize) {
@@ -284,7 +485,12 @@ std::vector<std::vector<ScoredItem>> CatalogScorer::BatchTopK(
             QuantizedShardTopK(snapshot_, qq, item_lo, item_hi, q.k,
                                options_.candidate_margin, q.exclude, ws,
                                shard_tops_[t]);
+          } else if (options_.fp16) {
+            F16ShardTopK(snapshot_, q.q_hat, item_lo, item_hi, q.k,
+                         options_.candidate_margin, q.exclude, ws,
+                         shard_tops_[t]);
           } else {
+            ++ws.exact_shards;
             ws.scores.resize(items_per_shard);
             ScoreItemRange(snapshot_, q.q_hat, item_lo, item_hi,
                            ws.scores.data());

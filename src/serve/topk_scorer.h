@@ -58,6 +58,52 @@
 // itself — can never change a served ranking, only its latency. All
 // existing contracts (any thread count, any shard grain, batch ==
 // single, evaluator == service) carry over unchanged.
+//
+// ---- fp16 two-phase scan (ScorerOptions::fp16) ----
+//
+// With an fp16 snapshot table, each (query, shard) task scans the
+// shard's IEEE-half codes with vec::DotBatchF16 (half the fp32 memory
+// traffic), keeps the top c = k + candidate_margin eligible items by
+// fp16 score, and exact fp32 re-ranks just those. Unlike the quantized
+// scan there is NO certification and NO fallback — this is the
+// certification-free intermediate the ROADMAP names: every *returned*
+// score is still the exact fp32 cosine (phase 2), but an item whose
+// fp16 score fell below the margin cutoff can be missed, so results may
+// diverge from the exact ranking (bench_serve reports the divergence as
+// recall@k). Determinism still holds: fp16 scores are bit-identical on
+// every SIMD tier (vec.h contract) and selection uses the same strict
+// total order, so responses are bit-identical across thread counts and
+// batch packings at a fixed shard grain. (Changing items_per_shard
+// changes which candidates clear the per-shard margin — grain is part
+// of the approximation's shape, like nprobe for ANN.)
+//
+// ---- IVF approximate retrieval (ScorerOptions::exact = false) ----
+//
+// With a snapshot built with SnapshotOptions::ivf, BatchTopK routes
+// each query through the snapshot's IvfIndex (ivf_index.h) instead of
+// the sharded full scan:
+//
+//   1. score all nlist centroids with one fused vec::DotBatch;
+//   2. visit the top-nprobe lists under (score desc, centroid id asc);
+//   3. scan each list's grouped rows contiguously — fp32 by default,
+//      int8 codes (vec::DotBatchI8) under ScorerOptions::quantize, or
+//      fp16 codes (vec::DotBatchF16) under ScorerOptions::fp16, in
+//      which case the top k + candidate_margin of the gathered pool by
+//      approximate score are kept;
+//   4. exact fp32 re-rank the surviving candidates and emit the top-k
+//      under the same (score desc, item id asc) total order.
+//
+// Items outside the probed lists are invisible, so ANN responses may
+// diverge from the exact ranking — recall@k-vs-exact is the quality
+// metric (bench_serve sweeps (nlist, nprobe)). Determinism, however,
+// stays absolute: the index is frozen at snapshot time, each query's
+// probe/scan/re-rank runs serially into its own output slot, and the
+// pool only parallelizes *across* queries — so ANN responses are
+// bit-identical across thread counts, shard grains (items_per_shard is
+// not used at all), and batch packings: same index => same lists =>
+// same candidates => same total order. With nprobe >= nlist and fp32
+// phase-1, every item is visible and the response equals the exact
+// scan's bitwise.
 #ifndef BSLREC_SERVE_TOPK_SCORER_H_
 #define BSLREC_SERVE_TOPK_SCORER_H_
 
@@ -129,28 +175,53 @@ struct ScoreQuery {
 // re-scores; the result never changes either way.
 inline constexpr uint32_t kDefaultCandidateMargin = 64;
 
+// Default coarse lists visited per ANN query.
+inline constexpr uint32_t kDefaultNprobe = 8;
+
 struct ScorerOptions {
   // Catalog items per scoring shard (per-worker buffer size).
   uint32_t items_per_shard = 2048;
   // Use the snapshot's int8 table for phase 1 (the snapshot must have
-  // been built with SnapshotOptions::quantize_items).
+  // been built with SnapshotOptions::quantize_items). Mutually
+  // exclusive with fp16.
   bool quantize = false;
   uint32_t candidate_margin = kDefaultCandidateMargin;
+  // Use the snapshot's fp16 table for phase 1 (the snapshot must have
+  // been built with SnapshotOptions::fp16_items). Certification-free:
+  // returned scores are exact fp32, but near-margin items can be
+  // missed (see the header note).
+  bool fp16 = false;
+  // false = ANN: retrieve through the snapshot's IVF index (the
+  // snapshot must have been built with SnapshotOptions::ivf.build)
+  // instead of scanning the full catalog. Composes with quantize/fp16,
+  // which then pick the list-scan representation.
+  bool exact = true;
+  // Coarse lists visited per ANN query (clamped to [1, nlist]);
+  // ignored when exact.
+  uint32_t nprobe = kDefaultNprobe;
 };
 
 // Reusable per-worker buffers for one shard-scan task stream; also
 // accumulates the owner's scan statistics. All buffers keep their
 // capacity across calls, so steady-state scanning allocates nothing.
 struct ShardScratch {
-  std::vector<float> scores;       // one fp32 score per shard item
+  std::vector<float> scores;       // fp32 scores (shard / centroid / list)
   std::vector<int32_t> idot;       // one integer dot per shard item
   std::vector<ScoredItem> approx;  // eligible items by approximate score
   std::vector<ScoredItem> cand;    // SelectTopK candidate scratch
   std::vector<ScoredItem> merge;   // serial whole-catalog accumulation
   std::vector<ScoredItem> shard_out;
+  std::vector<ScoredItem> probes;  // top-nprobe centroids (ivf)
   std::vector<int8_t> q_codes;     // serial-path query quantization
+  // Per-mode counters (summed into CatalogScorer::Stats):
+  uint64_t exact_shards = 0;       // exact fp32 shard tasks executed
   uint64_t shards_scanned = 0;     // quantized shard tasks executed
   uint64_t shards_fallback = 0;    // ... that failed certification
+  uint64_t fp16_shards = 0;        // fp16 two-phase shard tasks executed
+  uint64_t ivf_queries = 0;        // ANN queries answered
+  uint64_t ivf_lists = 0;          // coarse lists probed (incl. empty)
+  uint64_t ivf_candidates = 0;     // eligible candidates gathered
+  uint64_t ivf_reranked = 0;       // candidates exact fp32 re-ranked
 };
 
 // A query prepared for the quantized scan: the fp32 unit vector plus
@@ -182,15 +253,61 @@ std::vector<ScoredItem> QuantizedCatalogTopK(const ModelSnapshot& snapshot,
                                              const ScorerOptions& options,
                                              ShardScratch& ws);
 
+// One fp16 (query, shard) task: phase-1 vec::DotBatchF16 over the
+// snapshot's fp16 codes of items [lo, hi), top k + candidate_margin
+// eligible by fp16 score, exact fp32 re-rank of those. Returned scores
+// are exact; the candidate *set* is approximate (no certification — see
+// the header note). Deterministic for a fixed range.
+void F16ShardTopK(const ModelSnapshot& snapshot, const float* q_hat,
+                  uint32_t lo, uint32_t hi, uint32_t k,
+                  uint32_t candidate_margin, std::span<const uint32_t> exclude,
+                  ShardScratch& ws, std::vector<ScoredItem>& out);
+
+// Serial whole-catalog fp16 form (the evaluator's per-user kernel for
+// ScorerOptions::fp16); shard layout follows options.items_per_shard.
+std::vector<ScoredItem> F16CatalogTopK(const ModelSnapshot& snapshot,
+                                       const float* q_hat, uint32_t k,
+                                       std::span<const uint32_t> exclude,
+                                       const ScorerOptions& options,
+                                       ShardScratch& ws);
+
+// One serial ANN query through the snapshot's IVF index (the snapshot
+// must have been built with SnapshotOptions::ivf.build): probes the
+// top-nprobe lists, scans them with the representation options selects
+// (fp32 / int8 / fp16), exact fp32 re-ranks the candidates, and writes
+// the top-k into `out`. This is both the per-query kernel of the
+// parallel ANN BatchTopK and the evaluator's approximate per-user path.
+void IvfTopKInto(const ModelSnapshot& snapshot, const float* q_hat,
+                 uint32_t k, std::span<const uint32_t> exclude,
+                 const ScorerOptions& options, ShardScratch& ws,
+                 std::vector<ScoredItem>& out);
+
+// Convenience wrapper returning a fresh vector.
+std::vector<ScoredItem> IvfCatalogTopK(const ModelSnapshot& snapshot,
+                                       const float* q_hat, uint32_t k,
+                                       std::span<const uint32_t> exclude,
+                                       const ScorerOptions& options,
+                                       ShardScratch& ws);
+
 class CatalogScorer {
  public:
   // Items per scoring shard; the per-worker score buffer is this big.
   static constexpr uint32_t kDefaultItemsPerShard = 2048;
 
-  // Cumulative quantized-scan counters (zero when quantize is off).
+  // Per-mode scan counters, cumulative since construction (or the last
+  // ResetStats). Each scoring mode ticks only its own counters, so a
+  // scorer's stats identify the path it actually ran.
   struct Stats {
-    uint64_t shards_scanned = 0;
-    uint64_t shards_fallback = 0;
+    uint64_t exact_shards = 0;     // exact fp32 shard tasks
+    uint64_t shards_scanned = 0;   // quantized shard tasks
+    uint64_t shards_fallback = 0;  // ... that failed certification
+    uint64_t fp16_shards = 0;      // fp16 two-phase shard tasks
+    uint64_t ivf_queries = 0;      // ANN queries answered
+    uint64_t ivf_lists = 0;        // coarse lists probed (incl. empty)
+    uint64_t ivf_candidates = 0;   // eligible list candidates gathered
+    // Phase-2 exact re-scores of ANN candidates. Zero in fp32 ANN mode,
+    // where the list scan itself already produced exact scores.
+    uint64_t ivf_reranked = 0;
   };
 
   // `snapshot` and `pool` must outlive the scorer. The pool is driven
@@ -202,7 +319,14 @@ class CatalogScorer {
                 const ScorerOptions& options);
 
   const ScorerOptions& options() const { return options_; }
+  // Sums the per-worker counters. Reset semantics: counters accumulate
+  // across calls until ResetStats() zeroes them; both must be called
+  // from the scorer's single driving thread *between* scoring calls
+  // (they read/write the same per-worker scratch the scans use).
   Stats stats() const;
+  // const like the scoring calls: it touches only the mutable
+  // per-worker scratch, under the same one-driver contract.
+  void ResetStats() const;
 
   // Full-catalog top-k for one query.
   std::vector<ScoredItem> TopK(const ScoreQuery& query) const;

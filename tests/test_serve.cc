@@ -315,6 +315,12 @@ ServeConfig QuantConfig(size_t threads, uint32_t items_per_shard = 16,
   return cfg;
 }
 
+serve::SnapshotOptions QuantSnapshotOptions() {
+  serve::SnapshotOptions so;
+  so.quantize_items = true;
+  return so;
+}
+
 TEST(QuantizedSnapshot, Int8TableRoundTripsWithinHalfAStep) {
   const Dataset d = MediumDataset();
   Rng rng(30);
@@ -322,7 +328,7 @@ TEST(QuantizedSnapshot, Int8TableRoundTripsWithinHalfAStep) {
   model.Forward(rng);
   runtime::ThreadPool pool(2);
   const ModelSnapshot snap(model, pool,
-                           serve::SnapshotOptions{.quantize_items = true});
+                           QuantSnapshotOptions());
   ASSERT_TRUE(snap.has_quantized_items());
   for (uint32_t i = 0; i < snap.num_items(); ++i) {
     const float scale = snap.ItemScale(i);
@@ -347,11 +353,11 @@ TEST(QuantizedSnapshot, TableIsBitIdenticalForAnyWorkerCount) {
   model.Forward(rng);
   runtime::ThreadPool pool1(1);
   const ModelSnapshot base(model, pool1,
-                           serve::SnapshotOptions{.quantize_items = true});
+                           QuantSnapshotOptions());
   for (const size_t threads : {2u, 8u}) {
     runtime::ThreadPool pool(threads);
     const ModelSnapshot snap(model, pool,
-                             serve::SnapshotOptions{.quantize_items = true});
+                             QuantSnapshotOptions());
     for (uint32_t i = 0; i < base.num_items(); ++i) {
       EXPECT_EQ(snap.ItemScale(i), base.ItemScale(i)) << "item " << i;
       for (size_t j = 0; j < base.dim(); ++j) {
@@ -369,7 +375,7 @@ TEST(QuantizedScorer, BitIdenticalToExactAcrossShardGrainsAndMargins) {
   model.Forward(rng);
   runtime::ThreadPool pool(2);
   const ModelSnapshot snap(model, pool,
-                           serve::SnapshotOptions{.quantize_items = true});
+                           QuantSnapshotOptions());
   const std::vector<uint32_t> exclude = d.TestUsers();  // arbitrary ids
   const serve::ScoreQuery query{snap.UserVec(7), 12, exclude};
   const CatalogScorer reference(snap, pool, d.num_items() + 1);

@@ -2,9 +2,12 @@
 //
 // Reads the BENCH_*.json files the bench harnesses emit and distills
 // them into one small BENCH_summary.json: a handful of headline
-// metrics (trainer samples/sec, serve req/s + p99, graph propagate
-// ms/layer, front-door req/s under contention) plus the per-file
-// determinism-probe verdicts. CI's bench-trajectory step uploads the
+// metrics (trainer samples/sec, serve req/s + p99, ANN recall@k and
+// speedup-vs-exact, graph propagate ms/layer, front-door req/s under
+// contention) plus the per-file determinism-probe verdicts — the ANN
+// recall floor (>= 0.95 at the headline sweep point) counts as a
+// probe, so a recall regression fails the gate like a determinism
+// break would. CI's bench-trajectory step uploads the
 // summary as an artifact so the repo's perf history is one tiny file
 // per run instead of five — and exits non-zero when any probe failed
 // or an expected metric is missing, so a silent format drift can't
@@ -218,6 +221,23 @@ int main(int argc, char** argv) {
       headlines.push_back({"frontdoor_producers", best_producers});
       headlines.push_back({"frontdoor_req_per_sec", fd_rps});
       headlines.push_back({"frontdoor_p99_ms", fd_p99});
+      // ANN tier: headline recall + speedup, plus the hard recall
+      // floor. The headline "recall_at_k" is the last occurrence in
+      // the section (each sweep point carries its own), and the floor
+      // is a probe so a recall regression fails the trajectory gate
+      // exactly like a determinism break would.
+      const std::string ann = Section(*text, "ann");
+      const std::optional<double> ann_recall =
+          Number(ann, "recall_at_k", true);
+      const std::optional<double> ann_speedup =
+          Number(ann, "speedup_vs_exact");
+      if (!ann_recall || !ann_speedup) {
+        return Fail(name + ": no ann recall/speedup headline");
+      }
+      headlines.push_back({"ann_recall_at_k", *ann_recall});
+      headlines.push_back({"ann_speedup_vs_exact", *ann_speedup});
+      probes.emplace_back(name + ":ann_recall_floor", *ann_recall >= 0.95);
+      all_probes_passed = all_probes_passed && *ann_recall >= 0.95;
     } else if (name == "BENCH_graph.json") {
       const std::optional<double> ms =
           Number(Section(*text, "propagate"), "ms", true);

@@ -66,6 +66,11 @@ struct Options {
   size_t batch = 32;          // requests handled per HandleBatch call
   bool no_cache = false;
   bool quantize = false;      // int8 two-phase catalog scan
+  bool fp16 = false;          // fp16 two-phase catalog scan
+  bool ann = false;           // IVF approximate retrieval
+  uint32_t nlist = 0;         // coarse lists (0 = ceil(sqrt(num_items)))
+  uint32_t nprobe = serve::kDefaultNprobe;  // lists visited per query
+  bool recall = false;        // replay against an exact reference
   uint32_t margin = serve::kDefaultCandidateMargin;
   uint64_t seed = 42;
   size_t threads = 0;  // 0 = hardware concurrency, 1 = serial
@@ -83,7 +88,8 @@ void Usage() {
       "                    [--dim=N] [--layers=N] [--load=CKPT]\n"
       "                    [--requests=FILE] [--k=N] [--max-k=N]\n"
       "                    [--batch=N] [--shard-items=N] [--no-cache]\n"
-      "                    [--quantize] [--margin=N]\n"
+      "                    [--quantize] [--fp16] [--margin=N]\n"
+      "                    [--ann] [--nlist=N] [--nprobe=P] [--recall]\n"
       "                    [--threads=N] [--seed=N]\n"
       "                    [--concurrent] [--producers=N] [--flush-us=D]\n"
       "\n"
@@ -107,6 +113,25 @@ void Usage() {
       "               bit-identical to the exact scorer — this flag\n"
       "               trades memory traffic for a wider per-shard\n"
       "               candidate pass, it never changes a ranking\n"
+      "--fp16:        scan through an fp16 item table instead (mutually\n"
+      "               exclusive with --quantize). Certification-free:\n"
+      "               returned scores are exact fp32 but near-margin\n"
+      "               items can be missed — use --recall to measure\n"
+      "--ann:         approximate retrieval through an IVF coarse index\n"
+      "               built at snapshot time: score --nlist centroids,\n"
+      "               visit the top --nprobe lists, exact fp32 re-rank\n"
+      "               the gathered candidates. Composes with --quantize\n"
+      "               or --fp16 (they pick the list-scan representation).\n"
+      "               Responses are deterministic (bit-identical for any\n"
+      "               --threads / --batch / --shard-items) but may miss\n"
+      "               items outside the probed lists\n"
+      "--nlist:       coarse lists in the IVF index\n"
+      "               (0 = ceil(sqrt(num_items)))\n"
+      "--nprobe:      lists visited per query (clamped to [1, nlist]);\n"
+      "               higher = better recall, slower\n"
+      "--recall:      after serving, replay every request against an\n"
+      "               exact reference scorer and report measured\n"
+      "               recall-vs-exact on stderr (approximate modes)\n"
       "--margin:      extra phase-1 candidates per shard beyond k\n"
       "               (quantized mode; larger = fewer exact-rescan\n"
       "               fallbacks on near-tie score distributions)\n"
@@ -168,6 +193,16 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
       opts.no_cache = true;
     } else if (key == "quantize") {
       opts.quantize = true;
+    } else if (key == "fp16") {
+      opts.fp16 = true;
+    } else if (key == "ann") {
+      opts.ann = true;
+    } else if (key == "nlist") {
+      opts.nlist = static_cast<uint32_t>(as_int());
+    } else if (key == "nprobe") {
+      opts.nprobe = static_cast<uint32_t>(as_int());
+    } else if (key == "recall") {
+      opts.recall = true;
     } else if (key == "margin") {
       opts.margin = static_cast<uint32_t>(as_int());
     } else if (key == "seed") {
@@ -200,6 +235,21 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
   }
   if (opts.concurrent && opts.producers == 0) {
     std::fprintf(stderr, "--producers must be >= 1\n");
+    return false;
+  }
+  if (opts.quantize && opts.fp16) {
+    std::fprintf(stderr, "--quantize and --fp16 are mutually exclusive\n");
+    return false;
+  }
+  if (opts.ann && opts.nprobe == 0) {
+    std::fprintf(stderr, "--nprobe must be >= 1\n");
+    return false;
+  }
+  if (opts.recall && !opts.ann && !opts.fp16) {
+    std::fprintf(stderr,
+                 "--recall needs an approximate mode (--ann or --fp16); "
+                 "exact and --quantize responses match the reference by "
+                 "construction\n");
     return false;
   }
   return true;
@@ -249,6 +299,82 @@ void PrintResponses(const std::vector<serve::TopKRequest>& reqs,
   }
 }
 
+// Short human tag for the active scan mode in the snapshot-ready line.
+std::string ModeSuffix(const Options& opts) {
+  std::string s;
+  if (opts.quantize) s += ", int8 catalog table";
+  if (opts.fp16) s += ", fp16 catalog table";
+  if (opts.ann) s += ", ivf index";
+  return s;
+}
+
+// Replays `reqs` against an exact reference service built from the same
+// model/threads and reports the mean per-request overlap fraction
+// |approx ∩ exact| / |exact| — the measured recall of the approximate
+// responses in `resps`. Exact scoring is deterministic, so this is the
+// same reference bench_serve sweeps against.
+void ReportRecall(const Options& opts, const Dataset& data,
+                  const EmbeddingModel& model, const serve::ServeConfig& cfg,
+                  const std::vector<serve::TopKRequest>& reqs,
+                  const std::vector<serve::TopKResponse>& resps) {
+  serve::ServeConfig ref_cfg = cfg;
+  ref_cfg.quantize = false;
+  ref_cfg.fp16 = false;
+  ref_cfg.exact = true;
+  ref_cfg.ivf = serve::IvfBuildOptions{};
+  serve::InferenceService ref(data, model, ref_cfg);
+  double sum = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < reqs.size(); i += opts.batch) {
+    const size_t n = std::min(opts.batch, reqs.size() - i);
+    const std::vector<serve::TopKResponse> exact =
+        ref.HandleBatch({reqs.data() + i, n});
+    for (size_t j = 0; j < n; ++j) {
+      if (exact[j].items.empty()) continue;
+      size_t hits = 0;
+      for (uint32_t item : resps[i + j].items) {
+        for (uint32_t e : exact[j].items) {
+          if (e == item) {
+            ++hits;
+            break;
+          }
+        }
+      }
+      sum += static_cast<double>(hits) /
+             static_cast<double>(exact[j].items.size());
+      ++counted;
+    }
+  }
+  std::fprintf(stderr, "measured recall@%u vs exact: %.4f (%zu requests)\n",
+               opts.k,
+               counted > 0 ? sum / static_cast<double>(counted) : 1.0,
+               counted);
+}
+
+// Per-mode scorer counters for the stderr summary.
+void ReportScanStats(const Options& opts, const serve::CatalogScorer& scorer) {
+  const serve::CatalogScorer::Stats st = scorer.stats();
+  if (opts.ann) {
+    std::fprintf(stderr,
+                 "ivf probe: %llu queries, %llu lists visited, %llu "
+                 "candidates gathered, %llu re-ranked\n",
+                 static_cast<unsigned long long>(st.ivf_queries),
+                 static_cast<unsigned long long>(st.ivf_lists),
+                 static_cast<unsigned long long>(st.ivf_candidates),
+                 static_cast<unsigned long long>(st.ivf_reranked));
+    return;
+  }
+  if (opts.quantize) {
+    std::fprintf(stderr,
+                 "quantized scan: %llu shard tasks, %llu exact fallbacks\n",
+                 static_cast<unsigned long long>(st.shards_scanned),
+                 static_cast<unsigned long long>(st.shards_fallback));
+  } else if (opts.fp16) {
+    std::fprintf(stderr, "fp16 scan: %llu shard tasks\n",
+                 static_cast<unsigned long long>(st.fp16_shards));
+  }
+}
+
 // --concurrent mode: replay every request through the front door from
 // --producers client threads. Requests are read up front (producer
 // threads must not interleave stream reads); each future is stored at
@@ -267,8 +393,7 @@ int ServeConcurrent(const Options& opts, const Dataset& data,
                frontend.current_snapshot()->num_users(),
                frontend.current_snapshot()->num_items(),
                frontend.current_snapshot()->dim(),
-               opts.quantize ? ", int8 catalog table" : "", fe.max_batch,
-               fe.flush_deadline_us);
+               ModeSuffix(opts).c_str(), fe.max_batch, fe.flush_deadline_us);
 
   std::vector<serve::TopKRequest> reqs;
   size_t malformed = 0;
@@ -324,6 +449,7 @@ int ServeConcurrent(const Options& opts, const Dataset& data,
                static_cast<unsigned long long>(st.deadline_flushes),
                static_cast<unsigned long long>(st.drain_flushes),
                static_cast<unsigned long long>(st.max_batch_served));
+  if (opts.recall) ReportRecall(opts, data, model, cfg, reqs, resps);
   return malformed == 0 ? 0 : 1;
 }
 
@@ -362,6 +488,10 @@ int main(int argc, char** argv) {
   cfg.items_per_shard = opts.shard_items;
   cfg.cache_rankings = !opts.no_cache;
   cfg.quantize = opts.quantize;
+  cfg.fp16 = opts.fp16;
+  cfg.exact = !opts.ann;
+  cfg.nprobe = opts.nprobe;
+  cfg.ivf.nlist = opts.nlist;
   cfg.candidate_margin = opts.margin;
   cfg.runtime.num_threads = opts.threads;
   std::ifstream req_file;
@@ -380,12 +510,15 @@ int main(int argc, char** argv) {
   serve::InferenceService service(*data, *model, cfg);
   std::fprintf(stderr, "snapshot ready (%u users x %u items, dim %zu%s)\n",
                service.snapshot().num_users(), service.snapshot().num_items(),
-               service.snapshot().dim(),
-               opts.quantize ? ", int8 catalog table" : "");
+               service.snapshot().dim(), ModeSuffix(opts).c_str());
 
   size_t served = 0, malformed = 0;
   double total_secs = 0.0;
   std::vector<serve::TopKRequest> batch;
+  // --recall retains every request/response pair for the reference
+  // replay after serving.
+  std::vector<serve::TopKRequest> all_reqs;
+  std::vector<serve::TopKResponse> all_resps;
   const auto flush = [&]() {
     if (batch.empty()) return;
     const auto t0 = std::chrono::steady_clock::now();
@@ -395,6 +528,10 @@ int main(int argc, char** argv) {
                       std::chrono::steady_clock::now() - t0)
                       .count();
     PrintResponses(batch, resps);
+    if (opts.recall) {
+      all_reqs.insert(all_reqs.end(), batch.begin(), batch.end());
+      all_resps.insert(all_resps.end(), resps.begin(), resps.end());
+    }
     served += batch.size();
     batch.clear();
   };
@@ -419,12 +556,9 @@ int main(int argc, char** argv) {
                total_secs > 0.0 ? static_cast<double>(served) / total_secs
                                 : 0.0,
                malformed);
-  if (opts.quantize) {
-    const serve::CatalogScorer::Stats st = service.scorer().stats();
-    std::fprintf(stderr,
-                 "quantized scan: %llu shard tasks, %llu exact fallbacks\n",
-                 static_cast<unsigned long long>(st.shards_scanned),
-                 static_cast<unsigned long long>(st.shards_fallback));
+  ReportScanStats(opts, service.scorer());
+  if (opts.recall) {
+    ReportRecall(opts, *data, *model, cfg, all_reqs, all_resps);
   }
   return malformed == 0 ? 0 : 1;
 }
