@@ -33,6 +33,16 @@
 // bit-identical to the synchronous path against the snapshot that
 // served it; the probe gates the exit code alongside the quantized one.
 //
+// An overload tier then pushes the front door past its service rate
+// with an open-loop burst (a fault injector bounds service
+// deterministically) and reports goodput, shed rate, deadline-miss
+// rate, degraded fraction, and queue-wait p50/p99. Its probes gate the
+// exit code too: the admission accounting identity (served + shed +
+// deadline-missed == submitted, on both harvest and stats sides), the
+// queue-depth bound, a forced-expiry sub-run proving a deadline-missed
+// request is never fulfilled, and tier bit-identity of every served
+// response (exact or the published brownout tier).
+//
 // The ranking cache is disabled so every request pays full catalog
 // scoring — the numbers measure the scorer, not the cache.
 //
@@ -59,6 +69,7 @@
 #include "math/vec.h"
 #include "models/mf.h"
 #include "runtime/thread_pool.h"
+#include "serve/fault_injector.h"
 #include "serve/inference_service.h"
 #include "serve/ranking_engine.h"
 #include "serve/serving_frontend.h"
@@ -727,8 +738,173 @@ int main() {
     std::printf("train-and-serve responses match their snapshot: %s\n",
                 trainserve_matched ? "yes" : "NO — BUG");
   }
+  // ---- overload tier: open-loop arrival above the service rate ----
+  // A fault injector delays every batch, bounding the service rate
+  // deterministically; producers then submit the whole request set at
+  // once (open loop — nobody waits for a response before sending the
+  // next), so arrival exceeds service by construction. The bounded
+  // queue sheds, deadlines expire, and brownout kicks in. Reported:
+  // goodput, shed rate, deadline-miss rate, degraded fraction, and
+  // queue-wait p50/p99. Probes gate the exit code:
+  //   - accounting: every submitted request is exactly one of served /
+  //     shed / deadline-missed, on both the harvest and stats sides
+  //   - depth bound: queue_depth_high_water never exceeds max_queue_depth
+  //   - forced-expiry sub-run: a stalled dispatcher plus tiny deadlines
+  //     must fulfill zero rankings — a deadline-missed request is never
+  //     served
+  //   - tier bit-identity: every fulfilled response equals the
+  //     single-driver RankingEngine at the tier it reports (exact or
+  //     the published brownout tier)
+  const size_t ol_total = fast ? 160 : 400;
+  size_t ol_served = 0, ol_shed = 0, ol_missed = 0, ol_degraded = 0;
+  double ol_goodput = 0.0, ol_wait_p50 = 0.0, ol_wait_p99 = 0.0;
+  bool ol_accounting = true;
+  bool ol_depth_ok = true;
+  bool ol_no_expired_fulfilled = true;
+  bool ol_identical = true;
+  serve::FrontEndConfig ol_cfg;
+  ol_cfg.max_batch = 8;
+  ol_cfg.flush_deadline_us = 100;
+  ol_cfg.max_queue_depth = 16;
+  ol_cfg.overflow = serve::OverflowPolicy::kShedNewest;
+  ol_cfg.default_deadline_us = 12000;
+  ol_cfg.brownout.enable = true;
+  ol_cfg.brownout.high_watermark = 12;
+  ol_cfg.brownout.low_watermark = 4;
+  ol_cfg.brownout.nprobe = 2;
+  ol_cfg.serve = MakeConfig(k, 0, "exact");
+  {
+    // 3 ms per batch caps service at ~2.7k req/s; the open-loop burst
+    // arrives in well under a millisecond.
+    ol_cfg.fault_injector = std::make_shared<serve::ScheduledFaultInjector>(
+        std::vector<serve::FaultRule>{
+            {serve::FaultAction::Kind::kDelay, 0, 1, 0, 3000}},
+        /*seed=*/0);
+    serve::ServingFrontEnd frontend(data, model, ol_cfg);
+    const std::vector<serve::TopKRequest> reqs =
+        MakeRequests(ol_total, data.num_users(), k, 31337);
+    std::vector<std::future<serve::ServedResponse>> futures(reqs.size());
+    const size_t ol_producers = 4;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> senders;
+    for (size_t p = 0; p < ol_producers; ++p) {
+      senders.emplace_back([&, p] {
+        for (size_t i = p; i < reqs.size(); i += ol_producers) {
+          futures[i] = frontend.Submit(reqs[i]);
+          // Open loop: never wait for a response, but meter the stream
+          // so arrival (~8k req/s across producers) sits a few x above
+          // service rather than landing as one instantaneous burst.
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+      });
+    }
+    for (std::thread& t : senders) t.join();
+    frontend.Drain();
+    const double ol_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const std::shared_ptr<const serve::ModelSnapshot> snap =
+        frontend.current_snapshot();
+    runtime::ThreadPool ref_pool(1);
+    serve::RankingEngine exact_ref(data, *snap, ref_pool, ol_cfg.serve);
+    serve::RankingEngine degraded_ref(
+        data, *snap, ref_pool,
+        serve::BrownoutServeConfigFor(ol_cfg.serve, serve::DegradeMode::kIvf,
+                                      ol_cfg.brownout.nprobe));
+    std::vector<double> waits_ms;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      try {
+        const serve::ServedResponse resp = futures[i].get();
+        ++ol_served;
+        waits_ms.push_back(static_cast<double>(resp.queue_us) / 1000.0);
+        serve::RankingEngine& ref =
+            resp.degraded ? degraded_ref : exact_ref;
+        if (resp.degraded) ++ol_degraded;
+        ol_identical = ol_identical && resp.snapshot_seq == 1 &&
+                       SameResponse(resp.topk, ref.Handle(reqs[i]));
+      } catch (const serve::OverloadError&) {
+        ++ol_shed;
+      } catch (const serve::DeadlineExceededError&) {
+        ++ol_missed;
+      }
+    }
+    const serve::FrontEndStats st = frontend.stats();
+    ol_goodput = ol_secs > 0.0
+                     ? static_cast<double>(ol_served) / ol_secs
+                     : 0.0;
+    std::sort(waits_ms.begin(), waits_ms.end());
+    if (!waits_ms.empty()) {
+      ol_wait_p50 = Percentile(waits_ms, 0.50);
+      ol_wait_p99 = Percentile(waits_ms, 0.99);
+    }
+    // Harvest side: every future resolved exactly one way. Stats side:
+    // the documented idle-state identity.
+    ol_accounting =
+        ol_served + ol_shed + ol_missed == reqs.size() &&
+        st.submitted == st.requests + st.shed_newest + st.shed_oldest +
+                            st.expired_admission;
+    ol_depth_ok = st.queue_depth_high_water <= ol_cfg.max_queue_depth;
+    std::printf(
+        "overload: %zu submitted open-loop -> %zu served (%.0f req/s "
+        "goodput), %zu shed (%.1f%%), %zu deadline-missed (%.1f%%), "
+        "%zu degraded (%.1f%% of served)\n",
+        reqs.size(), ol_served, ol_goodput,
+        ol_shed, 100.0 * static_cast<double>(ol_shed) / reqs.size(),
+        ol_missed, 100.0 * static_cast<double>(ol_missed) / reqs.size(),
+        ol_degraded,
+        ol_served > 0
+            ? 100.0 * static_cast<double>(ol_degraded) / ol_served
+            : 0.0);
+    std::printf(
+        "overload: queue wait p50 %.3f ms p99 %.3f ms, depth high-water "
+        "%llu/%zu, brownout %llu entries\n",
+        ol_wait_p50, ol_wait_p99,
+        static_cast<unsigned long long>(st.queue_depth_high_water),
+        ol_cfg.max_queue_depth,
+        static_cast<unsigned long long>(st.brownout_entries));
+  }
+  {
+    // Forced-expiry sub-run: dispatcher stalled past every deadline, so
+    // all requests must fail fast at dequeue — zero rankings fulfilled.
+    serve::FrontEndConfig ex_cfg = ol_cfg;
+    ex_cfg.max_queue_depth = 0;  // nothing sheds; expiry is the only exit
+    ex_cfg.default_deadline_us = 2000;
+    ex_cfg.fault_injector = std::make_shared<serve::ScheduledFaultInjector>(
+        std::vector<serve::FaultRule>{
+            {serve::FaultAction::Kind::kStall, 0, 1, 1, 100000}},
+        /*seed=*/0);
+    serve::ServingFrontEnd frontend(data, model, ex_cfg);
+    std::vector<std::future<serve::ServedResponse>> futures;
+    for (uint32_t i = 0; i < 20; ++i) {
+      serve::TopKRequest req;
+      req.user = i % data.num_users();
+      req.k = k;
+      futures.push_back(frontend.Submit(req));
+    }
+    size_t fulfilled = 0;
+    for (std::future<serve::ServedResponse>& fut : futures) {
+      try {
+        fut.get();
+        ++fulfilled;
+      } catch (const serve::DeadlineExceededError&) {
+      }
+    }
+    ol_no_expired_fulfilled = fulfilled == 0;
+    std::printf("overload: forced-expiry sub-run fulfilled %zu/20 "
+                "(must be 0)\n",
+                fulfilled);
+  }
+  std::printf("overload probes: accounting %s, depth bound %s, "
+              "no expired fulfilled %s, tier bit-identical %s\n",
+              ol_accounting ? "yes" : "NO — BUG",
+              ol_depth_ok ? "yes" : "NO — BUG",
+              ol_no_expired_fulfilled ? "yes" : "NO — BUG",
+              ol_identical ? "yes" : "NO — BUG");
+
   identical = identical && ann_identical && fp16_identical &&
-              frontdoor_identical && trainserve_matched;
+              frontdoor_identical && trainserve_matched && ol_accounting &&
+              ol_depth_ok && ol_no_expired_fulfilled && ol_identical;
 
   // ---- machine-readable output ----
   FILE* out = bench::BeginBenchJson("BENCH_serve.json");
@@ -807,6 +983,32 @@ int main() {
                "\"requests_per_sec\": %.1f, \"responses_matched\": %s},\n",
                ts_producers, ts_generations, trainserve_requests,
                trainserve_rps, trainserve_matched ? "true" : "false");
+  std::fprintf(out,
+               "  \"overload\": {\"max_queue_depth\": %zu, "
+               "\"submitted\": %zu, \"served\": %zu, \"shed\": %zu, "
+               "\"deadline_missed\": %zu, \"degraded\": %zu,\n",
+               ol_cfg.max_queue_depth, ol_total, ol_served, ol_shed,
+               ol_missed, ol_degraded);
+  std::fprintf(out,
+               "    \"goodput_requests_per_sec\": %.1f, "
+               "\"shed_rate\": %.4f, \"deadline_miss_rate\": %.4f, "
+               "\"degraded_fraction\": %.4f, \"queue_wait_p50_ms\": %.4f, "
+               "\"queue_wait_p99_ms\": %.4f,\n",
+               ol_goodput,
+               static_cast<double>(ol_shed) / static_cast<double>(ol_total),
+               static_cast<double>(ol_missed) /
+                   static_cast<double>(ol_total),
+               ol_served > 0 ? static_cast<double>(ol_degraded) /
+                                   static_cast<double>(ol_served)
+                             : 0.0,
+               ol_wait_p50, ol_wait_p99);
+  std::fprintf(out,
+               "    \"probes\": {\"accounting\": %s, \"depth_bound\": %s, "
+               "\"no_expired_fulfilled\": %s, \"tier_bit_identical\": %s}},\n",
+               ol_accounting ? "true" : "false",
+               ol_depth_ok ? "true" : "false",
+               ol_no_expired_fulfilled ? "true" : "false",
+               ol_identical ? "true" : "false");
   bench::FinishBenchJson(out, "BENCH_serve.json", identical);
   return identical ? 0 : 1;
 }

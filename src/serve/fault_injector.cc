@@ -1,0 +1,45 @@
+#include "serve/fault_injector.h"
+
+#include "math/check.h"
+#include "math/rng.h"
+
+namespace bslrec::serve {
+
+ScheduledFaultInjector::ScheduledFaultInjector(std::vector<FaultRule> rules,
+                                               uint64_t seed) {
+  rules_.reserve(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    FaultRule rule = rules[i];
+    BSLREC_CHECK(rule.period >= 1);
+    if (seed != 0) {
+      // Deterministic per-rule phase jitter: shift the rule's first
+      // firing by a seeded offset within one period. Same seed, same
+      // schedule — different seeds, different interleavings.
+      rule.first += SplitMix64::Mix(seed + 0x9e3779b97f4a7c15ULL * (i + 1)) %
+                    rule.period;
+    }
+    rules_.push_back({rule, 0});
+  }
+}
+
+FaultAction ScheduledFaultInjector::OnTick(uint64_t tick) {
+  for (RuleState& rs : rules_) {
+    const FaultRule& r = rs.rule;
+    if (r.kind == FaultAction::Kind::kNone) continue;
+    if (tick < r.first) continue;
+    if ((tick - r.first) % r.period != 0) continue;
+    if (r.count != 0 && rs.fired >= r.count) continue;
+    ++rs.fired;
+    fired_by_kind_[static_cast<size_t>(r.kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    return FaultAction{r.kind, r.micros};
+  }
+  return FaultAction{};
+}
+
+uint64_t ScheduledFaultInjector::fired(FaultAction::Kind kind) const {
+  return fired_by_kind_[static_cast<size_t>(kind)].load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace bslrec::serve

@@ -1,0 +1,102 @@
+// Deterministic fault injection for the serving front door.
+//
+// `FaultInjector` is a seam on the `ServingFrontEnd` dispatcher
+// (serving_frontend.h): once per dispatcher decision point the front
+// end asks the injector what — if anything — should go wrong, and
+// applies the returned action itself. The injector never touches the
+// queue or the promises; it only *decides*, so every fault path runs
+// through the same production code the fault is meant to exercise.
+//
+// Three fault kinds cover the overload state machine:
+//
+//   * kStall  — the dispatcher sleeps *before forming a batch*, with
+//     the queue lock released, so producers keep enqueueing into a
+//     wedged server. This is how tests drive queue growth: bounded
+//     admission (shed / block), queue-deadline expiry, and
+//     depth-triggered brownout all engage against a stalled scorer.
+//   * kDelay  — the dispatcher forms the batch, then sleeps before
+//     scoring it. Models a slow scorer: per-batch latency rises, which
+//     exercises mid-batch deadline expiry and the latency-triggered
+//     brownout watermark.
+//   * kFail   — the batch is formed and every request in it fails with
+//     an injected scoring error (wrapped with the same snapshot-seq /
+//     lane context a real scoring error gets). Exercises the
+//     error-propagation contract without needing a model that throws.
+//
+// Determinism contract: the dispatcher calls `OnTick` with a monotone
+// 0-based tick counter (one tick per decision point — a stalled tick
+// forms no batch but still consumed a tick). `ScheduledFaultInjector`
+// resolves actions purely from (tick, rules, seed) — no wall-clock
+// reads, no global RNG — so a test's fault sequence is a pure function
+// of its schedule and replays identically under TSan, ASan, or load.
+#ifndef BSLREC_SERVE_FAULT_INJECTOR_H_
+#define BSLREC_SERVE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace bslrec::serve {
+
+// What the dispatcher should do at one decision point.
+struct FaultAction {
+  enum class Kind : uint8_t {
+    kNone = 0,  // proceed normally
+    kStall,     // sleep micros before forming a batch (queue grows)
+    kDelay,     // form the batch, sleep micros, then score it
+    kFail,      // form the batch and fail it with an injected error
+  };
+  Kind kind = Kind::kNone;
+  uint32_t micros = 0;  // sleep duration for kStall / kDelay
+};
+
+// Dispatcher-side seam. Implementations must be cheap and must not
+// block: the dispatcher performs any requested sleep itself, outside
+// the queue lock. Called only from the dispatcher thread.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  // `tick` is the 0-based dispatcher decision counter (monotone; one
+  // per wakeup with a non-empty queue, whether or not a batch forms).
+  virtual FaultAction OnTick(uint64_t tick) = 0;
+};
+
+// One deterministic fault rule: fire `count` times at ticks
+// `first, first + period, first + 2*period, ...`.
+struct FaultRule {
+  FaultAction::Kind kind = FaultAction::Kind::kNone;
+  uint64_t first = 0;    // first tick the rule fires on
+  uint64_t period = 1;   // tick spacing between firings (>= 1)
+  uint64_t count = 1;    // total firings (0 = unlimited)
+  uint32_t micros = 0;   // sleep duration for kStall / kDelay
+};
+
+// Pure-function schedule over the tick counter. When several rules
+// match one tick the earliest rule in the list wins — keep schedules
+// disjoint if that matters. `seed` optionally jitters each rule's
+// phase deterministically (SplitMix64 of (seed, rule index) modulo the
+// rule's period) so stress tests can vary the interleaving between
+// seeds while any single seed replays exactly.
+class ScheduledFaultInjector : public FaultInjector {
+ public:
+  explicit ScheduledFaultInjector(std::vector<FaultRule> rules,
+                                  uint64_t seed = 0);
+
+  FaultAction OnTick(uint64_t tick) override;
+
+  // Total actions handed out so far, by kind (kNone excluded).
+  // Safe to read from any thread (the counters are atomic).
+  uint64_t fired(FaultAction::Kind kind) const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    uint64_t fired = 0;  // dispatcher-only
+  };
+  std::vector<RuleState> rules_;
+  std::atomic<uint64_t> fired_by_kind_[4] = {};
+};
+
+}  // namespace bslrec::serve
+
+#endif  // BSLREC_SERVE_FAULT_INJECTOR_H_

@@ -83,11 +83,30 @@ struct ServeConfig {
 SnapshotOptions SnapshotOptionsFor(const ServeConfig& config);
 ScorerOptions ScorerOptionsFor(const ServeConfig& config);
 
+// Admission-control priority lane (serving_frontend.h). Interactive
+// traffic is drained ahead of bulk under the front door's weighted-fair
+// policy; the direct engine paths ignore the lane entirely.
+enum class RequestLane : uint8_t { kInteractive = 0, kBulk = 1 };
+inline constexpr size_t kNumLanes = 2;
+inline const char* LaneName(RequestLane lane) {
+  return lane == RequestLane::kBulk ? "bulk" : "interactive";
+}
+
 struct TopKRequest {
   uint32_t user = 0;
   uint32_t k = 10;
   bool filter_seen = true;               // mask the user's train positives
   std::span<const uint32_t> extra_seen;  // sorted extra ids to mask
+  // ---- front-door admission fields (serving_frontend.h) ----
+  // Ignored by RankingEngine / InferenceService, which score
+  // unconditionally: deadlines and lanes are queueing policy, and only
+  // the queue (ServingFrontEnd) enforces them.
+  // Relative SLO in microseconds, measured from Submit time; 0 = use
+  // FrontEndConfig::default_deadline_us (which may itself be 0 = none).
+  // A request past its deadline fails with DeadlineExceededError
+  // instead of being scored.
+  uint32_t deadline_us = 0;
+  RequestLane lane = RequestLane::kInteractive;
 };
 
 struct TopKResponse {

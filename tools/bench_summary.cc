@@ -238,6 +238,32 @@ int main(int argc, char** argv) {
       headlines.push_back({"ann_speedup_vs_exact", *ann_speedup});
       probes.emplace_back(name + ":ann_recall_floor", *ann_recall >= 0.95);
       all_probes_passed = all_probes_passed && *ann_recall >= 0.95;
+      // Overload tier: goodput under admission control plus its four
+      // probe verdicts (accounting identity, queue-depth bound,
+      // no-expired-fulfilled, tier bit-identity). A missing section is
+      // a failure — the overload gate must not silently drop out.
+      const std::string overload = Section(*text, "overload");
+      const std::optional<double> goodput =
+          Number(overload, "goodput_requests_per_sec");
+      const std::optional<double> wait_p99 =
+          Number(overload, "queue_wait_p99_ms");
+      if (!goodput || !wait_p99) {
+        return Fail(name + ": no overload goodput headline");
+      }
+      headlines.push_back({"overload_goodput_req_per_sec", *goodput});
+      headlines.push_back({"overload_queue_wait_p99_ms", *wait_p99});
+      for (const char* probe_key :
+           {"accounting", "depth_bound", "no_expired_fulfilled",
+            "tier_bit_identical"}) {
+        const std::optional<bool> v =
+            Bool(Section(overload, "probes"), probe_key);
+        if (!v.has_value()) {
+          return Fail(name + ": no overload probe '" +
+                      std::string(probe_key) + "'");
+        }
+        probes.emplace_back(name + ":overload_" + probe_key, *v);
+        all_probes_passed = all_probes_passed && *v;
+      }
     } else if (name == "BENCH_graph.json") {
       const std::optional<double> ms =
           Number(Section(*text, "propagate"), "ms", true);

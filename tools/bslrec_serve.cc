@@ -77,6 +77,12 @@ struct Options {
   bool concurrent = false;  // route through serve::ServingFrontEnd
   size_t producers = 4;     // client threads in --concurrent mode
   uint32_t flush_us = 200;  // micro-batch flush deadline (us)
+  // ---- admission control (--concurrent only) ----
+  size_t max_queue = 0;          // bounded queue depth (0 = unbounded)
+  std::string overflow = "block";  // block|shed-newest|shed-oldest
+  uint32_t deadline_us = 0;      // per-request SLO (0 = none)
+  std::string lane = "interactive";  // interactive|bulk
+  uint32_t brownout_nprobe = 0;  // > 0 enables brownout degradation
 };
 
 void Usage() {
@@ -92,6 +98,10 @@ void Usage() {
       "                    [--ann] [--nlist=N] [--nprobe=P] [--recall]\n"
       "                    [--threads=N] [--seed=N]\n"
       "                    [--concurrent] [--producers=N] [--flush-us=D]\n"
+      "                    [--max-queue=N] "
+      "[--overflow=block|shed-newest|shed-oldest]\n"
+      "                    [--deadline-us=D] [--lane=interactive|bulk]\n"
+      "                    [--brownout-nprobe=P]\n"
       "\n"
       "Serves top-k recommendations from a frozen model snapshot.\n"
       "Requests are read from --requests (default: stdin), one per\n"
@@ -147,7 +157,30 @@ void Usage() {
       "               Output order and every response are identical\n"
       "               to the synchronous path.\n"
       "--producers:   client threads in --concurrent mode (>= 1)\n"
-      "--flush-us:    micro-batch flush deadline in microseconds\n");
+      "--flush-us:    micro-batch flush deadline in microseconds\n"
+      "--max-queue:   bound the front-door queue at N requests\n"
+      "               (--concurrent only; 0 = unbounded). At capacity\n"
+      "               the --overflow policy decides who loses\n"
+      "--overflow:    what a full queue does to the overflowing\n"
+      "               request: 'block' makes the producer wait\n"
+      "               (backpressure), 'shed-newest' refuses the\n"
+      "               incoming request, 'shed-oldest' evicts the\n"
+      "               oldest queued one (bulk lane first). Shed\n"
+      "               requests fail with a retriable overload error\n"
+      "               and print as 'error=overload' lines\n"
+      "--deadline-us: per-request SLO in microseconds measured from\n"
+      "               submission; a request past its deadline fails\n"
+      "               fast ('error=deadline') instead of being scored\n"
+      "--lane:        admission lane for every request: 'interactive'\n"
+      "               (drained first under the weighted-fair policy)\n"
+      "               or 'bulk' (replay traffic; first shed victim)\n"
+      "--brownout-nprobe: enable brownout degradation: under queue\n"
+      "               pressure the dispatcher serves through the\n"
+      "               snapshot's IVF index at P probes (building the\n"
+      "               index at freeze time) and recovers when the\n"
+      "               backlog clears. Degraded responses remain\n"
+      "               bit-identical to the synchronous path at the\n"
+      "               degraded tier\n");
 }
 
 bool ParseFlags(int argc, char** argv, Options& opts) {
@@ -213,6 +246,16 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
       opts.producers = static_cast<size_t>(as_int());
     } else if (key == "flush-us") {
       opts.flush_us = static_cast<uint32_t>(as_int());
+    } else if (key == "max-queue") {
+      opts.max_queue = static_cast<size_t>(as_int());
+    } else if (key == "overflow") {
+      opts.overflow = value;
+    } else if (key == "deadline-us") {
+      opts.deadline_us = static_cast<uint32_t>(as_int());
+    } else if (key == "lane") {
+      opts.lane = value;
+    } else if (key == "brownout-nprobe") {
+      opts.brownout_nprobe = static_cast<uint32_t>(as_int());
     } else if (key == "threads") {
       const long long n = as_int();
       if (n < 0) {
@@ -235,6 +278,24 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
   }
   if (opts.concurrent && opts.producers == 0) {
     std::fprintf(stderr, "--producers must be >= 1\n");
+    return false;
+  }
+  if (opts.overflow != "block" && opts.overflow != "shed-newest" &&
+      opts.overflow != "shed-oldest") {
+    std::fprintf(stderr,
+                 "--overflow must be block, shed-newest, or shed-oldest\n");
+    return false;
+  }
+  if (opts.lane != "interactive" && opts.lane != "bulk") {
+    std::fprintf(stderr, "--lane must be interactive or bulk\n");
+    return false;
+  }
+  if (!opts.concurrent &&
+      (opts.max_queue != 0 || opts.deadline_us != 0 ||
+       opts.brownout_nprobe != 0)) {
+    std::fprintf(stderr,
+                 "--max-queue, --deadline-us, and --brownout-nprobe are "
+                 "admission policy and need --concurrent\n");
     return false;
   }
   if (opts.quantize && opts.fp16) {
@@ -375,16 +436,32 @@ void ReportScanStats(const Options& opts, const serve::CatalogScorer& scorer) {
   }
 }
 
+// Maps the --overflow flag (pre-validated by ParseFlags) to the policy.
+serve::OverflowPolicy OverflowFromFlag(const std::string& name) {
+  if (name == "shed-newest") return serve::OverflowPolicy::kShedNewest;
+  if (name == "shed-oldest") return serve::OverflowPolicy::kShedOldest;
+  return serve::OverflowPolicy::kBlock;
+}
+
 // --concurrent mode: replay every request through the front door from
 // --producers client threads. Requests are read up front (producer
 // threads must not interleave stream reads); each future is stored at
-// its request's original index so output stays in input order.
+// its request's original index so output stays in input order. With
+// admission control configured a future can carry an overload or
+// deadline error instead of a ranking; those print as error= lines.
 int ServeConcurrent(const Options& opts, const Dataset& data,
                     const EmbeddingModel& model, const serve::ServeConfig& cfg,
                     std::istream& in) {
   serve::FrontEndConfig fe;
   fe.max_batch = opts.batch;
   fe.flush_deadline_us = opts.flush_us;
+  fe.max_queue_depth = opts.max_queue;
+  fe.overflow = OverflowFromFlag(opts.overflow);
+  fe.default_deadline_us = opts.deadline_us;
+  if (opts.brownout_nprobe > 0) {
+    fe.brownout.enable = true;
+    fe.brownout.nprobe = opts.brownout_nprobe;
+  }
   fe.serve = cfg;
   serve::ServingFrontEnd frontend(data, model, fe);
   std::fprintf(stderr,
@@ -394,7 +471,19 @@ int ServeConcurrent(const Options& opts, const Dataset& data,
                frontend.current_snapshot()->num_items(),
                frontend.current_snapshot()->dim(),
                ModeSuffix(opts).c_str(), fe.max_batch, fe.flush_deadline_us);
+  if (fe.max_queue_depth > 0 || fe.default_deadline_us > 0 ||
+      fe.brownout.enable) {
+    std::fprintf(stderr,
+                 "admission: max-queue=%zu overflow=%s deadline-us=%u "
+                 "lane=%s brownout-nprobe=%u\n",
+                 fe.max_queue_depth, opts.overflow.c_str(),
+                 fe.default_deadline_us, opts.lane.c_str(),
+                 fe.brownout.enable ? fe.brownout.nprobe : 0u);
+  }
 
+  const serve::RequestLane lane = opts.lane == "bulk"
+                                      ? serve::RequestLane::kBulk
+                                      : serve::RequestLane::kInteractive;
   std::vector<serve::TopKRequest> reqs;
   size_t malformed = 0;
   std::string line;
@@ -406,6 +495,7 @@ int ServeConcurrent(const Options& opts, const Dataset& data,
       ++malformed;
       continue;
     }
+    req.lane = lane;
     reqs.push_back(req);
   }
 
@@ -424,23 +514,46 @@ int ServeConcurrent(const Options& opts, const Dataset& data,
     });
   }
   for (std::thread& t : clients) t.join();
-  std::vector<serve::TopKResponse> resps;
-  resps.reserve(reqs.size());
-  for (std::future<serve::ServedResponse>& fut : futures) {
-    resps.push_back(std::move(fut.get().topk));  // users/k pre-validated
+  // Harvest in input order. Under admission control a future may carry
+  // a typed error instead of a ranking; keep a placeholder response so
+  // indices stay aligned and record the error kind for printing.
+  std::vector<serve::TopKResponse> resps(reqs.size());
+  std::vector<std::string> errors(reqs.size());
+  size_t served = 0;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    try {
+      resps[i] = std::move(futures[i].get().topk);  // users/k pre-validated
+      ++served;
+    } catch (const serve::OverloadError&) {
+      errors[i] = "overload";
+    } catch (const serve::DeadlineExceededError& e) {
+      errors[i] = std::string("deadline-") + serve::DeadlineStageName(e.stage());
+    }
   }
   const double secs = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
 
-  PrintResponses(reqs, resps);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (!errors[i].empty()) {
+      std::printf("user=%u k=%u error=%s\n", reqs[i].user, reqs[i].k,
+                  errors[i].c_str());
+      continue;
+    }
+    std::printf("user=%u k=%u items=", reqs[i].user, reqs[i].k);
+    for (size_t j = 0; j < resps[i].items.size(); ++j) {
+      std::printf("%s%u:%.6f", j == 0 ? "" : ",", resps[i].items[j],
+                  resps[i].scores[j]);
+    }
+    std::printf("\n");
+  }
   const serve::FrontEndStats st = frontend.stats();
   std::fprintf(
       stderr,
-      "served %zu requests from %zu producers in %.1f ms (%.0f req/s), "
+      "served %zu/%zu requests from %zu producers in %.1f ms (%.0f req/s), "
       "%zu malformed\n",
-      reqs.size(), producers, secs * 1000.0,
-      secs > 0.0 ? static_cast<double>(reqs.size()) / secs : 0.0, malformed);
+      served, reqs.size(), producers, secs * 1000.0,
+      secs > 0.0 ? static_cast<double>(served) / secs : 0.0, malformed);
   std::fprintf(stderr,
                "front door: %llu batches (%llu size / %llu deadline / "
                "%llu drain flushes), largest batch %llu\n",
@@ -449,7 +562,53 @@ int ServeConcurrent(const Options& opts, const Dataset& data,
                static_cast<unsigned long long>(st.deadline_flushes),
                static_cast<unsigned long long>(st.drain_flushes),
                static_cast<unsigned long long>(st.max_batch_served));
-  if (opts.recall) ReportRecall(opts, data, model, cfg, reqs, resps);
+  std::fprintf(stderr,
+               "admission: %llu submitted, depth high-water %llu, "
+               "%llu blocked submits, %llu shed-newest, %llu shed-oldest\n",
+               static_cast<unsigned long long>(st.submitted),
+               static_cast<unsigned long long>(st.queue_depth_high_water),
+               static_cast<unsigned long long>(st.blocked_submits),
+               static_cast<unsigned long long>(st.shed_newest),
+               static_cast<unsigned long long>(st.shed_oldest));
+  std::fprintf(stderr,
+               "deadlines: %llu admission / %llu queue / %llu batch "
+               "expiries\n",
+               static_cast<unsigned long long>(st.expired_admission),
+               static_cast<unsigned long long>(st.expired_queue),
+               static_cast<unsigned long long>(st.expired_batch));
+  std::fprintf(
+      stderr, "lanes: interactive %llu/%llu served, bulk %llu/%llu served\n",
+      static_cast<unsigned long long>(
+          st.lane_served[static_cast<size_t>(serve::RequestLane::kInteractive)]),
+      static_cast<unsigned long long>(st.lane_submitted[static_cast<size_t>(
+          serve::RequestLane::kInteractive)]),
+      static_cast<unsigned long long>(
+          st.lane_served[static_cast<size_t>(serve::RequestLane::kBulk)]),
+      static_cast<unsigned long long>(
+          st.lane_submitted[static_cast<size_t>(serve::RequestLane::kBulk)]));
+  if (fe.brownout.enable) {
+    std::fprintf(stderr,
+                 "brownout: %llu entries / %llu exits, %.1f ms degraded, "
+                 "%llu degraded responses\n",
+                 static_cast<unsigned long long>(st.brownout_entries),
+                 static_cast<unsigned long long>(st.brownout_exits),
+                 static_cast<double>(st.brownout_us) / 1000.0,
+                 static_cast<unsigned long long>(st.degraded_served));
+  }
+  if (opts.recall) {
+    // Recall is only meaningful for fulfilled rankings — drop shed or
+    // expired slots before replaying against the exact reference.
+    std::vector<serve::TopKRequest> ok_reqs;
+    std::vector<serve::TopKResponse> ok_resps;
+    ok_reqs.reserve(served);
+    ok_resps.reserve(served);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      if (!errors[i].empty()) continue;
+      ok_reqs.push_back(reqs[i]);
+      ok_resps.push_back(resps[i]);
+    }
+    ReportRecall(opts, data, model, cfg, ok_reqs, ok_resps);
+  }
   return malformed == 0 ? 0 : 1;
 }
 
