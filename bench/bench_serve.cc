@@ -33,6 +33,15 @@
 // bit-identical to the synchronous path against the snapshot that
 // served it; the probe gates the exit code alongside the quantized one.
 //
+// A loopback socket tier then re-runs the closed loop through
+// serve::NetServer: the same producer counts, but each producer is a
+// TCP client on 127.0.0.1 speaking the wire grammar (wire.h), so the
+// delta against the in-process front-door points is the cost of the
+// transport itself — epoll loops, line parsing, the completion pump,
+// and kernel round trips. Every response line is probed bytewise
+// against wire::FormatResponse over the synchronous path; the probe
+// gates the exit code alongside the others.
+//
 // An overload tier then pushes the front door past its service rate
 // with an open-loop burst (a fault injector bounds service
 // deterministically) and reports goodput, shed rate, deadline-miss
@@ -54,7 +63,12 @@
 //                   as req/s. On a multi-core host quantized should
 //                   beat exact here; single-core it is informational.
 //   (neither)       mid-size default
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -71,8 +85,10 @@
 #include "runtime/thread_pool.h"
 #include "serve/fault_injector.h"
 #include "serve/inference_service.h"
+#include "serve/net_server.h"
 #include "serve/ranking_engine.h"
 #include "serve/serving_frontend.h"
+#include "serve/wire.h"
 
 namespace {
 
@@ -180,6 +196,58 @@ struct FrontEndPoint {
   uint64_t size_flushes;
   uint64_t deadline_flushes;
 };
+
+// One producer-count point of the loopback socket tier.
+struct NetPoint {
+  size_t producers;
+  double p50_ms;
+  double p99_ms;
+  double requests_per_sec;
+};
+
+// ---- loopback client plumbing for the net tier ----
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads one '\n'-terminated line (newline stripped); `buf` carries
+// leftover bytes between calls.
+bool RecvLine(int fd, std::string& buf, std::string& line) {
+  for (;;) {
+    const size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buf, 0, nl);
+      buf.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
 
 struct ClosedLoopResult {
   std::vector<std::vector<serve::ServedResponse>> responses;  // per producer
@@ -659,6 +727,124 @@ int main() {
   std::printf("front door bit-identical to synchronous path: %s\n",
               frontdoor_identical ? "yes" : "NO — BUG");
 
+  // ---- loopback socket tier: the closed loop through NetServer ----
+  // Same producer counts and per-producer request volume as the
+  // in-process points above; each producer is a loopback TCP client
+  // keeping one wire-grammar request line in flight. Every response
+  // line is compared bytewise against wire::FormatResponse over the
+  // synchronous path (the socket analogue of the front-door probe).
+  bool net_identical = true;
+  std::vector<NetPoint> net_points;
+  const size_t net_io_threads = 2;
+  {
+    serve::InferenceService sync_baseline(data, model,
+                                          MakeConfig(k, 1, "exact"));
+    serve::ServingFrontEnd frontend(data, model, fe_cfg);
+    serve::NetServerConfig net_cfg;
+    net_cfg.io_threads = net_io_threads;
+    serve::NetServer server(frontend, net_cfg);
+    if (!server.Start()) {
+      std::fprintf(stderr, "net tier: %s\n", server.last_error().c_str());
+      return 1;
+    }
+    std::printf("net transport: loopback port %u, %zu io threads\n",
+                server.port(), net_io_threads);
+    for (size_t producers : producer_counts) {
+      std::vector<std::vector<serve::TopKRequest>> streams(producers);
+      for (size_t p = 0; p < producers; ++p) {
+        streams[p] = MakeRequests(reqs_per_producer, data.num_users(), k,
+                                  3000 + 29 * p);
+      }
+      std::vector<std::vector<std::string>> lines(producers);
+      std::vector<std::vector<double>> lat(producers);
+      std::atomic<bool> net_ok{true};
+      std::vector<std::thread> clients;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t p = 0; p < producers; ++p) {
+        clients.emplace_back([&, p] {
+          const int fd = ConnectLoopback(server.port());
+          if (fd < 0) {
+            net_ok = false;
+            return;
+          }
+          std::string buf, line;
+          char msg[64];
+          lines[p].reserve(streams[p].size());
+          lat[p].reserve(streams[p].size());
+          for (const serve::TopKRequest& req : streams[p]) {
+            const int len = std::snprintf(msg, sizeof(msg), "TOPK %u %u\n",
+                                          req.user, req.k);
+            const auto s = std::chrono::steady_clock::now();
+            if (!SendAll(fd, msg, static_cast<size_t>(len)) ||
+                !RecvLine(fd, buf, line)) {
+              net_ok = false;
+              break;
+            }
+            lat[p].push_back(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - s)
+                    .count() *
+                1000.0);
+            lines[p].push_back(line);
+          }
+          ::close(fd);
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      const double total_secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      net_identical = net_identical && net_ok.load();
+      // Probe: bytewise identity against the wire-formatted sync path
+      // (no ID sent, so responses echo "-"; seq 1, no brownout).
+      std::unordered_map<uint32_t, std::string> want;
+      size_t total_requests = 0;
+      std::vector<double> all;
+      for (size_t p = 0; p < producers; ++p) {
+        net_identical =
+            net_identical && lines[p].size() == streams[p].size();
+        for (size_t r = 0; r < lines[p].size(); ++r) {
+          const serve::TopKRequest& req = streams[p][r];
+          auto it = want.find(req.user);
+          if (it == want.end()) {
+            it = want.emplace(req.user,
+                              serve::wire::FormatResponse(
+                                  "-", serve::DegradeMode::kNone, 1,
+                                  sync_baseline.Handle(req)))
+                     .first;
+          }
+          net_identical = net_identical && lines[p][r] == it->second;
+        }
+        total_requests += streams[p].size();
+        all.insert(all.end(), lat[p].begin(), lat[p].end());
+      }
+      std::sort(all.begin(), all.end());
+      NetPoint np;
+      np.producers = producers;
+      np.p50_ms = Percentile(all, 0.50);
+      np.p99_ms = Percentile(all, 0.99);
+      np.requests_per_sec =
+          total_secs > 0.0 ? static_cast<double>(total_requests) / total_secs
+                           : 0.0;
+      net_points.push_back(np);
+      std::printf(
+          "net producers=%zu  p50 %.3f ms  p99 %.3f ms  %.0f req/s\n",
+          np.producers, np.p50_ms, np.p99_ms, np.requests_per_sec);
+    }
+    server.Stop();
+  }
+  if (!fe_points.empty() && !net_points.empty()) {
+    const double fd_rps = fe_points.back().requests_per_sec;
+    std::printf(
+        "net transport vs in-process front door at %zu producers: %.2fx\n",
+        net_points.back().producers,
+        fd_rps > 0.0 ? net_points.back().requests_per_sec / fd_rps : 0.0);
+  }
+  std::printf("net responses bytewise-identical to wire-formatted sync "
+              "path: %s\n",
+              net_identical ? "yes" : "NO — BUG");
+
   // ---- sustained train-and-serve: snapshot hot-swap mid-traffic ----
   // A publisher thread pushes freshly frozen snapshots while producers
   // keep the front door under load. Every response must match the
@@ -903,8 +1089,9 @@ int main() {
               ol_identical ? "yes" : "NO — BUG");
 
   identical = identical && ann_identical && fp16_identical &&
-              frontdoor_identical && trainserve_matched && ol_accounting &&
-              ol_depth_ok && ol_no_expired_fulfilled && ol_identical;
+              frontdoor_identical && net_identical && trainserve_matched &&
+              ol_accounting && ol_depth_ok && ol_no_expired_fulfilled &&
+              ol_identical;
 
   // ---- machine-readable output ----
   FILE* out = bench::BeginBenchJson("BENCH_serve.json");
@@ -977,6 +1164,18 @@ int main() {
                  i + 1 < fe_points.size() ? "," : "");
   }
   std::fprintf(out, "  ]},\n");
+  std::fprintf(out, "  \"net\": {\"io_threads\": %zu, \"points\": [\n",
+               net_io_threads);
+  for (size_t i = 0; i < net_points.size(); ++i) {
+    const NetPoint& p = net_points[i];
+    std::fprintf(out,
+                 "    {\"producers\": %zu, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"requests_per_sec\": %.1f}%s\n",
+                 p.producers, p.p50_ms, p.p99_ms, p.requests_per_sec,
+                 i + 1 < net_points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ], \"transport_bit_identical\": %s},\n",
+               net_identical ? "true" : "false");
   std::fprintf(out,
                "  \"train_and_serve\": {\"producers\": %zu, "
                "\"snapshots_published\": %zu, \"requests\": %zu, "

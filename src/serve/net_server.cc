@@ -1,0 +1,493 @@
+#include "serve/net_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "math/check.h"
+
+namespace bslrec::serve {
+namespace {
+
+// epoll_ctl wrapper; registration failures on live fds are programmer
+// errors (bad fd lifecycle), except the benign ones a raced close can
+// produce (ENOENT/EBADF — the connection is already deregistered).
+void EpollCtl(int epoll_fd, int op, int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd, op, fd, &ev) != 0) {
+    BSLREC_CHECK(errno == ENOENT || errno == EBADF || errno == EEXIST);
+  }
+}
+
+}  // namespace
+
+NetServer::NetServer(ServingFrontEnd& frontend, NetServerConfig config)
+    : frontend_(frontend), config_(std::move(config)) {
+  BSLREC_CHECK(config_.io_threads >= 1);
+  BSLREC_CHECK(config_.max_line_bytes > 0);
+  parse_options_.num_users = frontend_.current_snapshot()->num_users();
+  parse_options_.default_k = config_.default_k;
+  parse_options_.max_line_bytes = config_.max_line_bytes;
+}
+
+NetServer::~NetServer() { Stop(); }
+
+bool NetServer::Start() {
+  BSLREC_CHECK(!started_.load());
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    last_error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    last_error_ = "invalid bind address '" + config_.bind_address + "'";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    last_error_ = std::string("bind/listen ") + config_.bind_address + ":" +
+                  std::to_string(config_.port) + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  epoll_fds_.resize(config_.io_threads, -1);
+  wake_fds_.resize(config_.io_threads, -1);
+  dead_fds_.assign(config_.io_threads, {});
+  for (size_t i = 0; i < config_.io_threads; ++i) {
+    epoll_fds_[i] = ::epoll_create1(EPOLL_CLOEXEC);
+    wake_fds_[i] = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    BSLREC_CHECK(epoll_fds_[i] >= 0 && wake_fds_[i] >= 0);
+    EpollCtl(epoll_fds_[i], EPOLL_CTL_ADD, wake_fds_[i], EPOLLIN);
+  }
+  EpollCtl(epoll_fds_[0], EPOLL_CTL_ADD, listen_fd_, EPOLLIN);
+
+  started_.store(true);
+  pump_thread_ = std::thread([this] { PumpLoop(); });
+  io_threads_.reserve(config_.io_threads);
+  for (size_t i = 0; i < config_.io_threads; ++i) {
+    io_threads_.emplace_back([this, i] { IoLoop(i); });
+  }
+  return true;
+}
+
+void NetServer::Stop() {
+  if (!started_.load()) return;
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+
+  // 1. Halt the event loops: no more accepts, reads, or submissions.
+  //    Requests already handed to the front door stay in flight.
+  io_shutdown_.store(true);
+  WakeIoThreads();
+  for (std::thread& t : io_threads_) t.join();
+  io_threads_.clear();
+  if (listen_fd_ >= 0) {
+    EpollCtl(epoll_fds_[0], EPOLL_CTL_DEL, listen_fd_, 0);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Drain the pump: every submitted request is answered and its
+  //    response appended (and opportunistically written).
+  {
+    std::unique_lock<std::mutex> lock(pump_mu_);
+    pump_drain_cv_.wait(lock,
+                        [this] { return pump_queue_.empty() && !pump_busy_; });
+    pump_shutdown_ = true;
+  }
+  pump_cv_.notify_all();
+  pump_thread_.join();
+
+  // 3. Flush what the sockets would not take inline, then close. With
+  //    io + pump joined, deferred fds have no racing reader left.
+  FinalFlushAndCloseAll();
+  CloseRemainingDeadFds();
+  for (int fd : wake_fds_) ::close(fd);
+  for (int fd : epoll_fds_) ::close(fd);
+  wake_fds_.clear();
+  epoll_fds_.clear();
+}
+
+NetServer::Stats NetServer::stats() const {
+  Stats s;
+  s.connections_accepted = accepted_.load();
+  s.connections_closed = closed_.load();
+  s.lines = lines_.load();
+  s.requests = requests_.load();
+  s.bad_requests = bad_requests_.load();
+  s.responses_ok = responses_ok_.load();
+  s.responses_err = responses_err_.load();
+  return s;
+}
+
+void NetServer::WakeIoThreads() {
+  for (int fd : wake_fds_) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
+  }
+}
+
+std::shared_ptr<NetServer::Connection> NetServer::LookupConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  const auto it = conns_.find(fd);
+  return it == conns_.end() ? nullptr : it->second;
+}
+
+void NetServer::IoLoop(size_t index) {
+  epoll_event events[64];
+  while (!io_shutdown_.load()) {
+    const int n = ::epoll_wait(epoll_fds_[index], events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    // Close fds the pump retired since the last round. Doing it here —
+    // on the owning loop, between event rounds — is what makes a close
+    // unable to race this loop's reads.
+    DrainDeadFds(index);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fds_[index]) {
+        uint64_t drained;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fds_[index], &drained, sizeof(drained));
+        continue;
+      }
+      if (index == 0 && fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      const std::shared_ptr<Connection> conn = LookupConnection(fd);
+      if (conn == nullptr) continue;
+      // A raced close can recycle an fd onto another loop between the
+      // epoll_wait and the lookup; only the owning loop may touch it.
+      if (conn->epoll_fd != epoll_fds_[index]) continue;
+      if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+        HandleReadable(conn);
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(conn);
+    }
+  }
+}
+
+void NetServer::AcceptPending() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN / transient accept errors
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const size_t target =
+        next_io_.fetch_add(1) % config_.io_threads;
+    auto conn = std::make_shared<Connection>(fd, epoll_fds_[target], target);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_[fd] = std::move(conn);
+    }
+    EpollCtl(epoll_fds_[target], EPOLL_CTL_ADD, fd, EPOLLIN);
+    accepted_.fetch_add(1);
+  }
+}
+
+void NetServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  if (io_shutdown_.load()) return;
+  bool eof = false;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      // Bound input memory: a client may not stream an unbounded line.
+      if (conn->inbuf.find('\n') == std::string::npos &&
+          conn->inbuf.size() > config_.max_line_bytes) {
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    eof = true;  // hard read error: treat as peer close
+    break;
+  }
+  ProcessInput(conn);
+  if (eof) {
+    bool close_now;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->peer_closed = true;
+      close_now = ShouldCloseLocked(*conn);
+    }
+    if (close_now) CloseConnection(conn);
+  }
+}
+
+void NetServer::ProcessInput(const std::shared_ptr<Connection>& conn) {
+  size_t start = 0;
+  for (;;) {
+    const size_t nl = conn->inbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = conn->inbuf.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    start = nl + 1;
+    HandleLine(conn, line);
+  }
+  conn->inbuf.erase(0, start);
+  if (conn->inbuf.size() > config_.max_line_bytes) {
+    // Unterminated over-long line: answer once, then hang up.
+    conn->inbuf.clear();
+    ::shutdown(conn->fd, SHUT_RD);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->close_after_flush = true;
+      ++conn->pending;
+    }
+    bad_requests_.fetch_add(1);
+    ServeStatus status;
+    status.code = ErrorCode::kBadRequest;
+    status.detail = "line exceeds " + std::to_string(config_.max_line_bytes) +
+                    " bytes";
+    PumpItem item;
+    item.conn = conn;
+    item.immediate = wire::FormatError("-", status);
+    EnqueuePump(std::move(item));
+  }
+}
+
+void NetServer::HandleLine(const std::shared_ptr<Connection>& conn,
+                           const std::string& line) {
+  if (io_shutdown_.load()) return;
+  if (wire::IsIgnorableLine(line)) return;
+  lines_.fetch_add(1);
+  wire::ParsedRequest request;
+  const ServeStatus status =
+      wire::ParseRequest(line, parse_options_, &request);
+  PumpItem item;
+  item.conn = conn;
+  item.id = request.id;
+  if (status.ok()) {
+    // Submit may block (kBlock backpressure) — that is the point:
+    // the loop, and every connection it owns, waits with it.
+    item.has_future = true;
+    item.future = frontend_.Submit(request.topk);
+    requests_.fetch_add(1);
+  } else {
+    bad_requests_.fetch_add(1);
+    item.immediate = wire::FormatError(request.id, status);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    ++conn->pending;
+  }
+  EnqueuePump(std::move(item));
+}
+
+void NetServer::EnqueuePump(PumpItem item) {
+  {
+    std::lock_guard<std::mutex> lock(pump_mu_);
+    pump_queue_.push_back(std::move(item));
+  }
+  pump_cv_.notify_one();
+}
+
+void NetServer::PumpLoop() {
+  for (;;) {
+    PumpItem item;
+    {
+      std::unique_lock<std::mutex> lock(pump_mu_);
+      pump_cv_.wait(lock, [this] {
+        return !pump_queue_.empty() || pump_shutdown_;
+      });
+      if (pump_queue_.empty()) return;  // shutdown after drain
+      item = std::move(pump_queue_.front());
+      pump_queue_.pop_front();
+      pump_busy_ = true;
+    }
+    std::string line;
+    if (item.has_future) {
+      try {
+        const ServedResponse response = item.future.get();
+        line = wire::FormatResponse(item.id, response.degrade_mode,
+                                    response.snapshot_seq, response.topk);
+        responses_ok_.fetch_add(1);
+      } catch (...) {
+        line = wire::FormatError(
+            item.id, StatusFromException(std::current_exception()));
+        responses_err_.fetch_add(1);
+      }
+    } else {
+      line = std::move(item.immediate);
+    }
+    line.push_back('\n');
+    Deliver(item.conn, std::move(line));
+    {
+      std::lock_guard<std::mutex> lock(pump_mu_);
+      pump_busy_ = false;
+      if (pump_queue_.empty()) pump_drain_cv_.notify_all();
+    }
+  }
+}
+
+void NetServer::Deliver(const std::shared_ptr<Connection>& conn,
+                        std::string line) {
+  bool close_now;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    BSLREC_CHECK(conn->pending > 0);
+    --conn->pending;
+    if (!conn->closed) {
+      conn->outbuf.append(line);
+      FlushLocked(*conn);
+    }
+    close_now = ShouldCloseLocked(*conn);
+  }
+  if (close_now) CloseConnection(conn);
+}
+
+void NetServer::FlushLocked(Connection& conn) {
+  while (!conn.outbuf.empty()) {
+    const ssize_t n = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbuf.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {  // not expected from TCP send; treat as broken
+      conn.broken = true;
+      conn.outbuf.clear();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!conn.want_write) {
+        EpollCtl(conn.epoll_fd, EPOLL_CTL_MOD, conn.fd,
+                 EPOLLIN | EPOLLOUT);
+        conn.want_write = true;
+      }
+      return;
+    }
+    // Hard write error (peer went away): nothing more can be sent.
+    conn.broken = true;
+    conn.outbuf.clear();
+    return;
+  }
+  if (conn.want_write) {
+    EpollCtl(conn.epoll_fd, EPOLL_CTL_MOD, conn.fd, EPOLLIN);
+    conn.want_write = false;
+  }
+}
+
+bool NetServer::ShouldCloseLocked(const Connection& conn) const {
+  if (conn.closed) return false;
+  if (conn.broken) return true;
+  return (conn.peer_closed || conn.close_after_flush) && conn.pending == 0 &&
+         conn.outbuf.empty();
+}
+
+void NetServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
+  bool close_now;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    FlushLocked(*conn);
+    close_now = ShouldCloseLocked(*conn);
+  }
+  if (close_now) CloseConnection(conn);
+}
+
+void NetServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(conn->fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    EpollCtl(conn->epoll_fd, EPOLL_CTL_DEL, conn->fd, 0);
+  }
+  {
+    std::lock_guard<std::mutex> lock(dead_mu_);
+    dead_fds_[conn->owner].push_back(conn->fd);
+  }
+  closed_.fetch_add(1);
+  // Nudge the owner so the deferred close happens promptly. Harmless
+  // when the owner loop has already exited (Stop closes leftovers).
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fds_[conn->owner], &one, sizeof(one));
+}
+
+void NetServer::DrainDeadFds(size_t index) {
+  std::vector<int> dead;
+  {
+    std::lock_guard<std::mutex> lock(dead_mu_);
+    dead.swap(dead_fds_[index]);
+  }
+  for (int fd : dead) ::close(fd);
+}
+
+void NetServer::CloseRemainingDeadFds() {
+  std::lock_guard<std::mutex> lock(dead_mu_);
+  for (std::vector<int>& list : dead_fds_) {
+    for (int fd : list) ::close(fd);
+    list.clear();
+  }
+}
+
+void NetServer::FinalFlushAndCloseAll() {
+  std::vector<std::shared_ptr<Connection>> remaining;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    remaining.reserve(conns_.size());
+    for (const auto& [fd, conn] : conns_) remaining.push_back(conn);
+  }
+  for (const std::shared_ptr<Connection>& conn : remaining) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      // Bounded flush: give a slow client a few polls, not forever.
+      for (int attempts = 0;
+           !conn->closed && !conn->broken && !conn->outbuf.empty() &&
+           attempts < 50;
+           ++attempts) {
+        FlushLocked(*conn);
+        if (conn->outbuf.empty() || conn->broken) break;
+        pollfd pfd{conn->fd, POLLOUT, 0};
+        ::poll(&pfd, 1, config_.drain_flush_ms);
+      }
+    }
+    CloseConnection(conn);
+  }
+}
+
+}  // namespace bslrec::serve

@@ -1,0 +1,227 @@
+// Non-blocking epoll TCP transport for the serving front door.
+//
+// `NetServer` puts the concurrent front door (serving_frontend.h) on a
+// socket: it accepts connections, splits the byte stream into
+// newline-delimited request lines, parses them with the shared wire
+// grammar (wire.h — the same grammar the bslrec_serve CLI speaks), and
+// turns every parsed request into a `ServingFrontEnd::Submit`.
+// Connection handlers never score anything: all of the front door's
+// machinery (micro-batching, admission control, deadlines, lanes,
+// brownout, hot-swap) is what serves the request; the server is just a
+// producer pool plus response plumbing.
+//
+// Threading model
+//   * `io_threads` event-loop threads, each owning a private epoll
+//     instance. Thread 0 additionally owns the listen socket; accepted
+//     connections are assigned round-robin across the loops. A
+//     connection's reads and line splitting happen only on its owning
+//     loop, so per-connection input needs no locking.
+//   * One completion pump thread consumes a global FIFO of
+//     (connection, future) pairs in submission order, blocks on each
+//     future, formats the response (or maps the future's typed error
+//     through `StatusFromException`), and appends it to the owning
+//     connection's output buffer — flushing inline and arming EPOLLOUT
+//     on short writes. Because the FIFO preserves submission order and
+//     a connection's lines are submitted sequentially by one loop,
+//     responses go out in request order per connection (parse errors
+//     are routed through the same FIFO so ERR lines keep their place).
+//   * Under `OverflowPolicy::kBlock` a full front-door queue blocks
+//     `Submit`, which blocks the owning io loop: backpressure
+//     propagates to every connection on that loop — the socket-level
+//     analogue of the CLI producer stalling. Shedding policies never
+//     block; sheds surface as `ERR _ OVERLOAD retry_after_us=<n>`.
+//
+// Protocol
+//   * Requests/responses per the grammar documented atop wire.h; both
+//     the wire form (`TOPK ...`) and the legacy CLI form
+//     (`<user> [<k>] [all]`) are accepted. Blank lines and
+//     '#'-comments are ignored (no response). A connection that
+//     accumulates more than `max_line_bytes` without a newline gets
+//     one `ERR - BAD_REQUEST` line and is hung up (bounded input
+//     memory); a *complete* over-long or malformed line gets its ERR
+//     response and the connection stays usable.
+//
+// Shutdown
+//   * `Stop()` drains: stop accepting and reading, answer every
+//     request already submitted, flush every connection's pending
+//     bytes (bounded by `drain_flush_ms` per poll), then close. The
+//     destructor calls Stop().
+#ifndef BSLREC_SERVE_NET_SERVER_H_
+#define BSLREC_SERVE_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/serving_frontend.h"
+#include "serve/wire.h"
+
+namespace bslrec::serve {
+
+struct NetServerConfig {
+  // Listen address. Tests and the bench bind loopback.
+  std::string bind_address = "127.0.0.1";
+  // 0 = ephemeral; the bound port is reported by port() after Start.
+  uint16_t port = 0;
+  int backlog = 128;
+  // Event-loop threads (>= 1). Thread 0 also accepts.
+  size_t io_threads = 1;
+  // Longest accepted request line; a connection exceeding it without
+  // a newline is answered with BAD_REQUEST and hung up.
+  size_t max_line_bytes = 4096;
+  // Cutoff for request lines that name no k (the CLI's --k).
+  uint32_t default_k = 10;
+  // Per-poll wait while flushing remaining output during Stop().
+  int drain_flush_ms = 100;
+};
+
+class NetServer {
+ public:
+  // Serves `frontend`, which must outlive the server (destroy the
+  // server first). Construction opens nothing; call Start().
+  NetServer(ServingFrontEnd& frontend, NetServerConfig config = {});
+  // Stop()s if still running.
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Opens the listen socket and starts the io + pump threads. False
+  // (with the reason in last_error()) when the socket setup fails —
+  // the library reports recoverable I/O errors by value, not throw.
+  bool Start();
+  // See the shutdown note above. Idempotent; safe from any thread
+  // (not from io/pump callbacks).
+  void Stop();
+
+  // The bound port (resolves port 0), valid after Start.
+  uint16_t port() const { return bound_port_; }
+  const std::string& last_error() const { return last_error_; }
+
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_closed = 0;
+    uint64_t lines = 0;          // request lines parsed (incl. bad)
+    uint64_t requests = 0;       // submitted to the front door
+    uint64_t bad_requests = 0;   // BAD_REQUEST responses
+    uint64_t responses_ok = 0;   // OK lines written
+    uint64_t responses_err = 0;  // ERR lines from failed futures
+  };
+  Stats stats() const;
+
+ private:
+  // One accepted socket. `inbuf` is touched only by the owning io
+  // loop; everything else is guarded by `mu` (the io loop and the
+  // pump both write/flush).
+  struct Connection {
+    Connection(int fd, int epoll_fd, size_t owner)
+        : fd(fd), epoll_fd(epoll_fd), owner(owner) {}
+    const int fd;
+    const int epoll_fd;  // the owning io loop's epoll instance
+    const size_t owner;  // index of the owning io loop
+    std::string inbuf;   // owning io loop only
+    std::mutex mu;
+    std::string outbuf;
+    size_t pending = 0;        // responses queued but not yet appended
+    bool want_write = false;   // EPOLLOUT armed
+    bool peer_closed = false;  // read side saw EOF / error
+    bool close_after_flush = false;  // protocol violation: hang up
+    bool broken = false;       // write side failed: close now
+    bool closed = false;       // fd closed and deregistered
+  };
+
+  // One pump entry: either a future to await or a pre-formatted line
+  // (parse errors keep their submission-order slot this way).
+  struct PumpItem {
+    std::shared_ptr<Connection> conn;
+    std::string id;
+    bool has_future = false;
+    std::future<ServedResponse> future;
+    std::string immediate;  // formatted ERR line when !has_future
+  };
+
+  void IoLoop(size_t index);
+  void PumpLoop();
+  void AcceptPending();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void HandleWritable(const std::shared_ptr<Connection>& conn);
+  // Splits complete lines out of conn->inbuf and handles each.
+  void ProcessInput(const std::shared_ptr<Connection>& conn);
+  void HandleLine(const std::shared_ptr<Connection>& conn,
+                  const std::string& line);
+  void EnqueuePump(PumpItem item);
+  // Appends one framed response line and flushes.
+  void Deliver(const std::shared_ptr<Connection>& conn, std::string line);
+  // Writes as much of outbuf as the socket accepts; arms/disarms
+  // EPOLLOUT. Caller holds conn->mu.
+  void FlushLocked(Connection& conn);
+  bool ShouldCloseLocked(const Connection& conn) const;
+  // Marks the connection closed and deregisters it; idempotent,
+  // callable from any thread. The actual ::close(fd) is deferred to
+  // the owning io loop (DrainDeadFds) so it can never race that
+  // loop's in-flight ::read — and the fd number cannot be recycled
+  // while a stale epoll event for it may still be pending. Once the
+  // io threads have been joined, Stop() closes leftovers directly.
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  // Closes fds deferred by CloseConnection for io loop `index`. Only
+  // that loop calls it (between epoll_wait rounds).
+  void DrainDeadFds(size_t index);
+  // Closes every still-deferred fd; only valid with io + pump joined.
+  void CloseRemainingDeadFds();
+  std::shared_ptr<Connection> LookupConnection(int fd);
+  void WakeIoThreads();
+  void FinalFlushAndCloseAll();
+
+  ServingFrontEnd& frontend_;
+  const NetServerConfig config_;
+  wire::ParseOptions parse_options_;
+
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::string last_error_;
+  std::vector<int> epoll_fds_;
+  std::vector<int> wake_fds_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> io_shutdown_{false};
+
+  std::mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+  std::atomic<size_t> next_io_{0};  // round-robin loop assignment
+
+  // Per-io-loop lists of fds whose connections are closed but whose
+  // ::close is pending on the owner loop (see CloseConnection).
+  std::mutex dead_mu_;
+  std::vector<std::vector<int>> dead_fds_;
+
+  std::mutex pump_mu_;
+  std::condition_variable pump_cv_;        // wakes the pump
+  std::condition_variable pump_drain_cv_;  // wakes Stop()
+  std::deque<PumpItem> pump_queue_;
+  bool pump_busy_ = false;
+  bool pump_shutdown_ = false;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> lines_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> responses_ok_{0};
+  std::atomic<uint64_t> responses_err_{0};
+
+  std::vector<std::thread> io_threads_;
+  std::thread pump_thread_;
+};
+
+}  // namespace bslrec::serve
+
+#endif  // BSLREC_SERVE_NET_SERVER_H_

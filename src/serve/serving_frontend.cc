@@ -55,32 +55,6 @@ void FailPromise(std::promise<ServedResponse>& promise,
 
 }  // namespace
 
-const char* DeadlineStageName(DeadlineStage stage) {
-  switch (stage) {
-    case DeadlineStage::kAdmission:
-      return "admission";
-    case DeadlineStage::kQueue:
-      return "queue";
-    case DeadlineStage::kBatch:
-      return "batch";
-  }
-  return "unknown";
-}
-
-const char* DegradeModeName(DegradeMode mode) {
-  switch (mode) {
-    case DegradeMode::kNone:
-      return "none";
-    case DegradeMode::kIvf:
-      return "ivf";
-    case DegradeMode::kFp16:
-      return "fp16";
-    case DegradeMode::kQuantized:
-      return "quantized";
-  }
-  return "unknown";
-}
-
 DegradeMode BrownoutModeFor(const ModelSnapshot& snapshot,
                             const ServeConfig& serve) {
   if (snapshot.ivf() != nullptr) return DegradeMode::kIvf;

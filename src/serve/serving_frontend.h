@@ -160,6 +160,7 @@
 #include "serve/fault_injector.h"
 #include "serve/model_snapshot.h"
 #include "serve/ranking_engine.h"
+#include "serve/wire.h"
 
 namespace bslrec::serve {
 
@@ -172,46 +173,33 @@ enum class OverflowPolicy : uint8_t {
 
 // Retriable load-shed failure: the server refused (or evicted) the
 // request because the queue was full. `retry_after_us` is the
-// server-suggested backoff before retrying.
-class OverloadError : public std::runtime_error {
+// server-suggested backoff before retrying. Derives from ServeError
+// (wire.h) with code kOverload so transports switch on one enum.
+class OverloadError : public ServeError {
  public:
   OverloadError(const std::string& what, uint32_t retry_after_us)
-      : std::runtime_error(what), retry_after_us_(retry_after_us) {}
+      : ServeError(what, ErrorCode::kOverload),
+        retry_after_us_(retry_after_us) {}
   uint32_t retry_after_us() const { return retry_after_us_; }
 
  private:
   uint32_t retry_after_us_;
 };
 
-// Which enforcement point caught an expired request.
-enum class DeadlineStage : uint8_t {
-  kAdmission = 0,  // waited for queue space past the deadline (kBlock)
-  kQueue,          // already expired when dequeued
-  kBatch,          // expired while its batch was being scored
-};
-const char* DeadlineStageName(DeadlineStage stage);
-
 // The request's SLO passed before a ranking could be delivered. The
 // request was not (or no longer) worth scoring; retrying is valid but
-// the caller should reconsider its deadline.
-class DeadlineExceededError : public std::runtime_error {
+// the caller should reconsider its deadline. `code()` names the stage
+// (kDeadlineAdmission / kDeadlineQueue / kDeadlineBatch — wire.h);
+// `stage()` is the same fact as the DeadlineStage enum.
+class DeadlineExceededError : public ServeError {
  public:
   DeadlineExceededError(const std::string& what, DeadlineStage stage)
-      : std::runtime_error(what), stage_(stage) {}
+      : ServeError(what, ErrorCodeForStage(stage)), stage_(stage) {}
   DeadlineStage stage() const { return stage_; }
 
  private:
   DeadlineStage stage_;
 };
-
-// The approximate tier brownout switched a response to.
-enum class DegradeMode : uint8_t {
-  kNone = 0,   // served at the configured tier
-  kIvf,        // IVF ANN at brownout.nprobe probes
-  kFp16,       // fp16 two-phase scan
-  kQuantized,  // int8 certified scan (exact results, cheaper scan)
-};
-const char* DegradeModeName(DegradeMode mode);
 
 // The degraded tier a brownout would serve `snapshot` at under `serve`
 // (kNone = no cheaper tier available: brownout cannot engage).

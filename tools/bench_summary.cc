@@ -221,6 +221,33 @@ int main(int argc, char** argv) {
       headlines.push_back({"frontdoor_producers", best_producers});
       headlines.push_back({"frontdoor_req_per_sec", fd_rps});
       headlines.push_back({"frontdoor_p99_ms", fd_p99});
+      // Loopback socket transport at the heaviest producer count, plus
+      // its bytewise-identity probe (socket responses vs the
+      // wire-formatted synchronous path). Missing section = failure,
+      // like the overload gate below.
+      double net_producers = -1.0, net_rps = -1.0, net_p99 = -1.0;
+      const std::string net = Section(*text, "net");
+      for (const std::string& obj : Objects(Section(net, "points"))) {
+        const std::optional<double> producers = Number(obj, "producers");
+        const std::optional<double> rps = Number(obj, "requests_per_sec");
+        const std::optional<double> p99 = Number(obj, "p99_ms");
+        if (!producers || !rps || !p99) continue;
+        if (*producers > net_producers) {
+          net_producers = *producers;
+          net_rps = *rps;
+          net_p99 = *p99;
+        }
+      }
+      if (net_rps < 0.0) return Fail(name + ": no net transport point");
+      headlines.push_back({"net_reqs_per_sec", net_rps});
+      headlines.push_back({"net_p99_ms", net_p99});
+      const std::optional<bool> net_probe =
+          Bool(net, "transport_bit_identical");
+      if (!net_probe.has_value()) {
+        return Fail(name + ": no net transport probe");
+      }
+      probes.emplace_back(name + ":net_transport_bit_identical", *net_probe);
+      all_probes_passed = all_probes_passed && *net_probe;
       // ANN tier: headline recall + speedup, plus the hard recall
       // floor. The headline "recall_at_k" is the last occurrence in
       // the section (each sweep point carries its own), and the floor

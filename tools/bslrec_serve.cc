@@ -5,13 +5,17 @@
 // stdin (or --requests=FILE), batching consecutive requests for
 // throughput.
 //
-// Request format, one request per line:
-//   <user> [<k>] [all]
+// Requests are parsed through the shared wire grammar (serve/wire.h —
+// the same grammar serve::NetServer speaks on a socket), one request
+// per line:
+//   <user> [<k>] [all]                        (legacy CLI form)
+//   TOPK <user> <k> [FILTER=..] [LANE=..] ...  (wire form)
 // where <user> is the user id, <k> overrides the default cutoff and
 // the literal word "all" disables seen-item filtering (train positives
 // are masked by default). Blank lines and lines starting with '#' are
 // skipped. Responses are printed one line per request, in input order:
 //   user=<u> k=<k> items=<item>:<score>,...
+// (--verbose appends ' degraded=<mode> seq=<n>' in --concurrent mode.)
 //
 // With --concurrent the tool routes every request through the
 // serve::ServingFrontEnd (MPMC queue + adaptive micro-batcher) instead
@@ -36,7 +40,6 @@
 #include <iostream>
 #include <memory>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +48,7 @@
 #include "models/checkpoint.h"
 #include "serve/inference_service.h"
 #include "serve/serving_frontend.h"
+#include "serve/wire.h"
 #include "tool_util.h"
 
 namespace {
@@ -83,6 +87,7 @@ struct Options {
   uint32_t deadline_us = 0;      // per-request SLO (0 = none)
   std::string lane = "interactive";  // interactive|bulk
   uint32_t brownout_nprobe = 0;  // > 0 enables brownout degradation
+  bool verbose = false;  // append degraded=/seq= per response line
 };
 
 void Usage() {
@@ -101,7 +106,7 @@ void Usage() {
       "                    [--max-queue=N] "
       "[--overflow=block|shed-newest|shed-oldest]\n"
       "                    [--deadline-us=D] [--lane=interactive|bulk]\n"
-      "                    [--brownout-nprobe=P]\n"
+      "                    [--brownout-nprobe=P] [--verbose]\n"
       "\n"
       "Serves top-k recommendations from a frozen model snapshot.\n"
       "Requests are read from --requests (default: stdin), one per\n"
@@ -180,7 +185,11 @@ void Usage() {
       "               index at freeze time) and recovers when the\n"
       "               backlog clears. Degraded responses remain\n"
       "               bit-identical to the synchronous path at the\n"
-      "               degraded tier\n");
+      "               degraded tier\n"
+      "--verbose:     (--concurrent only) append ' degraded=<mode>\n"
+      "               seq=<n>' to every response line so degraded\n"
+      "               responses and the snapshot publication that\n"
+      "               served them are attributable per request\n");
 }
 
 bool ParseFlags(int argc, char** argv, Options& opts) {
@@ -256,6 +265,8 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
       opts.lane = value;
     } else if (key == "brownout-nprobe") {
       opts.brownout_nprobe = static_cast<uint32_t>(as_int());
+    } else if (key == "verbose") {
+      opts.verbose = true;
     } else if (key == "threads") {
       const long long n = as_int();
       if (n < 0) {
@@ -298,6 +309,12 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
                  "admission policy and need --concurrent\n");
     return false;
   }
+  if (opts.verbose && !opts.concurrent) {
+    std::fprintf(stderr,
+                 "--verbose reports front-door response attribution "
+                 "(degrade tier, snapshot seq) and needs --concurrent\n");
+    return false;
+  }
   if (opts.quantize && opts.fp16) {
     std::fprintf(stderr, "--quantize and --fp16 are mutually exclusive\n");
     return false;
@@ -316,47 +333,34 @@ bool ParseFlags(int argc, char** argv, Options& opts) {
   return true;
 }
 
-// Parses one request line; returns false (with a stderr diagnostic) on
-// malformed input or an out-of-range user.
+// Parses one request line through the shared wire grammar (wire.h);
+// returns false (with the historical stderr diagnostic) on malformed
+// input or an out-of-range user.
 bool ParseRequest(const std::string& line, const Options& opts,
                   uint32_t num_users, serve::TopKRequest& req) {
-  std::istringstream in(line);
-  long long user = -1;
-  in >> user;
-  if (!in || user < 0 || static_cast<uint64_t>(user) >= num_users) {
-    std::fprintf(stderr, "bad request '%s': user must be in [0, %u)\n",
-                 line.c_str(), num_users);
+  serve::wire::ParseOptions parse_opts;
+  parse_opts.num_users = num_users;
+  parse_opts.default_k = opts.k;
+  parse_opts.default_lane = opts.lane == "bulk"
+                                ? serve::RequestLane::kBulk
+                                : serve::RequestLane::kInteractive;
+  serve::wire::ParsedRequest parsed;
+  const serve::ServeStatus status =
+      serve::wire::ParseRequest(line, parse_opts, &parsed);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bad request '%s': %s\n", line.c_str(),
+                 status.detail.c_str());
     return false;
   }
-  req = serve::TopKRequest{};
-  req.user = static_cast<uint32_t>(user);
-  req.k = opts.k;
-  std::string tok;
-  while (in >> tok) {
-    if (tok == "all") {
-      req.filter_seen = false;
-    } else {
-      const long long k = std::atoll(tok.c_str());
-      if (k <= 0 || k > static_cast<long long>(UINT32_MAX)) {
-        std::fprintf(stderr, "bad request '%s': k must be in [1, %u]\n",
-                     line.c_str(), UINT32_MAX);
-        return false;
-      }
-      req.k = static_cast<uint32_t>(k);
-    }
-  }
+  req = parsed.topk;
   return true;
 }
 
 void PrintResponses(const std::vector<serve::TopKRequest>& reqs,
                     const std::vector<serve::TopKResponse>& resps) {
   for (size_t i = 0; i < reqs.size(); ++i) {
-    std::printf("user=%u k=%u items=", reqs[i].user, reqs[i].k);
-    for (size_t j = 0; j < resps[i].items.size(); ++j) {
-      std::printf("%s%u:%.6f", j == 0 ? "" : ",", resps[i].items[j],
-                  resps[i].scores[j]);
-    }
-    std::printf("\n");
+    std::printf("%s\n",
+                serve::wire::FormatCliResponse(reqs[i], resps[i]).c_str());
   }
 }
 
@@ -481,21 +485,16 @@ int ServeConcurrent(const Options& opts, const Dataset& data,
                  fe.brownout.enable ? fe.brownout.nprobe : 0u);
   }
 
-  const serve::RequestLane lane = opts.lane == "bulk"
-                                      ? serve::RequestLane::kBulk
-                                      : serve::RequestLane::kInteractive;
   std::vector<serve::TopKRequest> reqs;
   size_t malformed = 0;
   std::string line;
   while (std::getline(in, line)) {
-    const size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
+    if (serve::wire::IsIgnorableLine(line)) continue;
     serve::TopKRequest req;
     if (!ParseRequest(line, opts, data.num_users(), req)) {
       ++malformed;
       continue;
     }
-    req.lane = lane;
     reqs.push_back(req);
   }
 
@@ -516,18 +515,23 @@ int ServeConcurrent(const Options& opts, const Dataset& data,
   for (std::thread& t : clients) t.join();
   // Harvest in input order. Under admission control a future may carry
   // a typed error instead of a ranking; keep a placeholder response so
-  // indices stay aligned and record the error kind for printing.
+  // indices stay aligned and record the ErrorCode for printing (one
+  // enum switch via StatusFromException — no catch cascade).
   std::vector<serve::TopKResponse> resps(reqs.size());
-  std::vector<std::string> errors(reqs.size());
+  std::vector<serve::ErrorCode> codes(reqs.size(), serve::ErrorCode::kOk);
+  std::vector<serve::DegradeMode> modes(reqs.size(), serve::DegradeMode::kNone);
+  std::vector<uint64_t> seqs(reqs.size(), 0);
   size_t served = 0;
   for (size_t i = 0; i < reqs.size(); ++i) {
     try {
-      resps[i] = std::move(futures[i].get().topk);  // users/k pre-validated
+      serve::ServedResponse r = futures[i].get();  // users/k pre-validated
+      resps[i] = std::move(r.topk);
+      modes[i] = r.degrade_mode;
+      seqs[i] = r.snapshot_seq;
       ++served;
-    } catch (const serve::OverloadError&) {
-      errors[i] = "overload";
-    } catch (const serve::DeadlineExceededError& e) {
-      errors[i] = std::string("deadline-") + serve::DeadlineStageName(e.stage());
+    } catch (...) {
+      codes[i] =
+          serve::StatusFromException(std::current_exception()).code;
     }
   }
   const double secs = std::chrono::duration<double>(
@@ -535,17 +539,17 @@ int ServeConcurrent(const Options& opts, const Dataset& data,
                           .count();
 
   for (size_t i = 0; i < reqs.size(); ++i) {
-    if (!errors[i].empty()) {
+    if (codes[i] != serve::ErrorCode::kOk) {
       std::printf("user=%u k=%u error=%s\n", reqs[i].user, reqs[i].k,
-                  errors[i].c_str());
+                  serve::wire::CliErrorToken(codes[i]));
       continue;
     }
-    std::printf("user=%u k=%u items=", reqs[i].user, reqs[i].k);
-    for (size_t j = 0; j < resps[i].items.size(); ++j) {
-      std::printf("%s%u:%.6f", j == 0 ? "" : ",", resps[i].items[j],
-                  resps[i].scores[j]);
-    }
-    std::printf("\n");
+    const std::string rendered =
+        opts.verbose
+            ? serve::wire::FormatCliResponse(reqs[i], resps[i], modes[i],
+                                             seqs[i])
+            : serve::wire::FormatCliResponse(reqs[i], resps[i]);
+    std::printf("%s\n", rendered.c_str());
   }
   const serve::FrontEndStats st = frontend.stats();
   std::fprintf(
@@ -603,7 +607,7 @@ int ServeConcurrent(const Options& opts, const Dataset& data,
     ok_reqs.reserve(served);
     ok_resps.reserve(served);
     for (size_t i = 0; i < reqs.size(); ++i) {
-      if (!errors[i].empty()) continue;
+      if (codes[i] != serve::ErrorCode::kOk) continue;
       ok_reqs.push_back(reqs[i]);
       ok_resps.push_back(resps[i]);
     }
@@ -697,8 +701,7 @@ int main(int argc, char** argv) {
 
   std::string line;
   while (std::getline(in, line)) {
-    const size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
+    if (serve::wire::IsIgnorableLine(line)) continue;
     serve::TopKRequest req;
     if (!ParseRequest(line, opts, data->num_users(), req)) {
       ++malformed;
